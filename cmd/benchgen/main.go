@@ -1,0 +1,71 @@
+// Command benchgen generates the synthetic ICCAD-2019-style benchmarks,
+// prints Table III, and optionally serializes a design to a file.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -table3 -scale 0.01
+//	benchgen -design 19test7m -scale 0.02 -o 19test7m.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastgr/internal/bench"
+	"fastgr/internal/design"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list benchmark names")
+		table3 = flag.Bool("table3", false, "print Table III (benchmark statistics)")
+		name   = flag.String("design", "", "generate this benchmark")
+		scale  = flag.Float64("scale", 0.01, "benchmark scale in (0,1]")
+		out    = flag.String("o", "", "write the generated design to this file (default stdout)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range design.AllNames() {
+			spec, _ := design.SpecByName(n)
+			fmt.Printf("%-10s %8d nets %5dx%-5d %d layers\n",
+				spec.Name, spec.Nets, spec.GridW, spec.GridH, spec.Layers)
+		}
+	case *table3:
+		s := bench.NewSuite(bench.Config{Scale: *scale})
+		bench.PrintTableIII(os.Stdout, bench.TableIII(s))
+	case *name != "":
+		d, err := design.Generate(*name, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := design.Write(w, d); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			st := design.ComputeStats(d)
+			fmt.Printf("%s: %d nets, %d pins, %dx%d, %d layers -> %s\n",
+				st.Name, st.Nets, st.Pins, st.GridW, st.GridH, st.Layers, *out)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

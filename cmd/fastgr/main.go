@@ -1,0 +1,167 @@
+// Command fastgr routes a benchmark (or a design file) with one of the three
+// router variants and prints the routing report. It is the CLI face of the
+// library: generate or load a design, run CUGR / FastGRL / FastGRH, and
+// optionally dump the routing guides.
+//
+// Usage:
+//
+//	fastgr -design 18test5m -scale 0.01 -router fastgrh
+//	fastgr -in mydesign.txt -router cugr -guides guides.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"fastgr/internal/core"
+	"fastgr/internal/design"
+	"fastgr/internal/dr"
+	"fastgr/internal/guide"
+	"fastgr/internal/sched"
+)
+
+func main() {
+	var (
+		designName = flag.String("design", "18test5m", "benchmark name to generate (see cmd/benchgen -list)")
+		scale      = flag.Float64("scale", 0.01, "benchmark scale in (0,1]")
+		inFile     = flag.String("in", "", "route a design file instead of a generated benchmark")
+		router     = flag.String("router", "fastgrl", "router variant: cugr | fastgrl | fastgrh")
+		scheme     = flag.String("sort", "hpwl-asc", "net ordering: pins-asc|pins-desc|hpwl-asc|hpwl-desc|area-asc|area-desc")
+		iters      = flag.Int("rrr", 3, "rip-up and reroute iterations")
+		t1         = flag.Int("t1", 0, "selection threshold t1 (0 = scale the paper's 100)")
+		t2         = flag.Int("t2", 0, "selection threshold t2 (0 = scale the paper's 500)")
+		noSel      = flag.Bool("no-selection", false, "apply the hybrid kernel to every net (FastGRH only)")
+		guides     = flag.String("guides", "", "write routing guides to this file")
+		evalDR     = flag.Bool("dr", false, "evaluate the solution with the detailed-routing track assigner")
+	)
+	flag.Parse()
+
+	d, err := loadDesign(*inFile, *designName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	variant, err := parseVariant(*router)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.DefaultOptions(variant)
+	opt.RRRIters = *iters
+	opt.SelectionOff = *noSel
+	if s, ok := parseScheme(*scheme); ok {
+		opt.Scheme = s
+	} else {
+		fatal(fmt.Errorf("unknown sorting scheme %q", *scheme))
+	}
+	if *t1 > 0 {
+		opt.T1 = *t1
+	} else if *inFile == "" {
+		opt.T1 = scaleThreshold(100, *scale)
+	}
+	if *t2 > 0 {
+		opt.T2 = *t2
+	} else if *inFile == "" {
+		opt.T2 = scaleThreshold(500, *scale)
+	}
+
+	res, err := core.Route(d, opt)
+	if err != nil {
+		fatal(err)
+	}
+	printReport(res)
+
+	if *evalDR {
+		m := dr.Evaluate(res.Grid, res.Routes)
+		fmt.Printf("\ndetailed routing (track assignment): WL=%d vias=%d shorts=%d spacing=%d\n",
+			m.Wirelength, m.Vias, m.Shorts, m.Spacing)
+	}
+	if *guides != "" {
+		if err := writeGuides(*guides, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("guides written to %s\n", *guides)
+	}
+}
+
+func loadDesign(inFile, name string, scale float64) (*design.Design, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return design.Read(f)
+	}
+	return design.Generate(name, scale)
+}
+
+func parseVariant(s string) (core.Variant, error) {
+	switch strings.ToLower(s) {
+	case "cugr":
+		return core.CUGR, nil
+	case "fastgrl", "l":
+		return core.FastGRL, nil
+	case "fastgrh", "h":
+		return core.FastGRH, nil
+	}
+	return 0, fmt.Errorf("unknown router %q (want cugr, fastgrl or fastgrh)", s)
+}
+
+func parseScheme(s string) (sched.Scheme, bool) {
+	for _, sc := range sched.Schemes {
+		if sc.String() == s {
+			return sc, true
+		}
+	}
+	return 0, false
+}
+
+func scaleThreshold(full int, scale float64) int {
+	v := int(float64(full)*math.Sqrt(scale) + 0.5)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+func printReport(res *core.Result) {
+	r := res.Report
+	fmt.Printf("design   %s (%d nets, %dx%d, %d layers)\n",
+		r.Design, len(res.Design.Nets), res.Grid.W, res.Grid.H, res.Grid.L)
+	fmt.Printf("router   %s\n", r.Variant)
+	fmt.Printf("quality  WL=%d vias=%d shorts=%d score=%.1f\n",
+		r.Quality.Wirelength, r.Quality.Vias, r.Quality.Shorts, r.Score)
+	fmt.Printf("modeled  PATTERN=%v MAZE=%v TOTAL=%v\n",
+		r.Times.Pattern, r.Times.Maze, r.Times.Total)
+	fmt.Printf("wall     plan=%v pattern=%v maze=%v\n",
+		r.Times.PlanWall, r.Times.PatternWall, r.Times.MazeWall)
+	fmt.Printf("stages   batches=%d nets-to-ripup=%d hybrid-edges=%d/%d\n",
+		r.PatternBatches, r.NetsToRipup, r.HybridEdges, r.TotalEdges)
+	for i, it := range r.RRR {
+		fmt.Printf("  rrr[%d] nets=%d expansions=%d taskgraph=%v batch=%v\n",
+			i, it.Nets, it.Expansions, it.TaskGraphTime, it.BatchTime)
+	}
+}
+
+// writeGuides emits CUGR-style routing guides, verifying the coverage
+// contract (every routed wire and via inside its net's boxes) first.
+func writeGuides(path string, res *core.Result) error {
+	guides := guide.FromResult(res)
+	if err := guide.Covers(res, guides); err != nil {
+		return fmt.Errorf("guide contract violated: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return guide.Write(f, guides)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fastgr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Congestion analysis: route a design, collapse the 3-D demand onto the 2-D
+// grid and render an ASCII heat map with the hottest G-cells — the
+// congestion-predictor role global routing plays for placement (Section I).
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"fastgr/internal/core"
+	"fastgr/internal/design"
+)
+
+func main() {
+	d := design.MustGenerate("18test8m", 0.004)
+	opt := core.DefaultOptions(core.FastGRL)
+	opt.T1, opt.T2 = 6, 32
+
+	res, err := core.Route(d, opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s routed: WL=%d shorts=%d\n\n", d.Name,
+		res.Report.Quality.Wirelength, res.Report.Quality.Shorts)
+
+	cells := res.Grid.CongestionMap2D()
+	w, h := res.Grid.W, res.Grid.H
+
+	// ASCII heat map, downsampled to at most 64 columns.
+	step := (w + 63) / 64
+	shades := []byte(" .:-=+*#%@")
+	fmt.Println("utilization heat map (@ = hottest):")
+	for y := 0; y < h; y += step {
+		row := make([]byte, 0, w/step+1)
+		for x := 0; x < w; x += step {
+			// Max utilization in the downsample window.
+			u := 0.0
+			for dy := 0; dy < step && y+dy < h; dy++ {
+				for dx := 0; dx < step && x+dx < w; dx++ {
+					c := cells[(y+dy)*w+(x+dx)]
+					if c.Capacity > 0 {
+						if v := float64(c.Demand) / float64(c.Capacity); v > u {
+							u = v
+						}
+					}
+				}
+			}
+			idx := int(u * float64(len(shades)))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			row = append(row, shades[idx])
+		}
+		fmt.Println(string(row))
+	}
+
+	// Top-5 hot spots.
+	type hot struct {
+		x, y int
+		util float64
+	}
+	var hots []hot
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := cells[y*w+x]
+			if c.Capacity > 0 {
+				hots = append(hots, hot{x, y, float64(c.Demand) / float64(c.Capacity)})
+			}
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].util > hots[j].util })
+	fmt.Println("\nhottest G-cells:")
+	for i := 0; i < 5 && i < len(hots); i++ {
+		fmt.Printf("  (%3d,%3d) utilization %.2f\n", hots[i].x, hots[i].y, hots[i].util)
+	}
+}

@@ -1,0 +1,71 @@
+// Visualize: route a design and write SVG pictures — the congestion heat
+// map, the chip's worst-congestion net's Steiner tree and routed geometry —
+// into ./out (created if needed).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fastgr/internal/core"
+	"fastgr/internal/design"
+	"fastgr/internal/route"
+	"fastgr/internal/viz"
+)
+
+func main() {
+	d := design.MustGenerate("18test5m", 0.005)
+	opt := core.DefaultOptions(core.FastGRH)
+	opt.T1, opt.T2 = 7, 35
+	res, err := core.Route(d, opt)
+	if err != nil {
+		panic(err)
+	}
+
+	outDir := "out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		panic(err)
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	// 1. Congestion heat map of the routed chip.
+	write("congestion.svg", func(f *os.File) error {
+		return viz.WriteCongestionSVG(f, res.Grid)
+	})
+
+	// 2. The largest multi-pin net: its Steiner tree and its routed
+	// geometry (wires colored by metal layer, vias as dots).
+	big := d.Nets[0]
+	for _, n := range d.Nets {
+		if len(n.Pins) > len(big.Pins) {
+			big = n
+		}
+	}
+	write("tree.svg", func(f *os.File) error {
+		return viz.WriteTreeSVG(f, d.GridW, d.GridH, res.Trees[big.ID])
+	})
+	write("net.svg", func(f *os.File) error {
+		pins := route.PinTerminals(res.Trees[big.ID])
+		return viz.WriteRouteSVG(f, res.Grid, []*route.NetRoute{res.Routes[big.ID]}, pins)
+	})
+
+	// 3. Every net at once — the full routing plan.
+	write("all_nets.svg", func(f *os.File) error {
+		return viz.WriteRouteSVG(f, res.Grid, res.Routes, nil)
+	})
+
+	fmt.Printf("\n%s: %d-pin net %s rendered; open out/*.svg in a browser\n",
+		d.Name, len(big.Pins), big.Name)
+}

@@ -1,0 +1,46 @@
+package fastgr_test
+
+import (
+	"testing"
+
+	"fastgr"
+)
+
+func TestFacadeRoundTrip(t *testing.T) {
+	d, err := fastgr.GenerateBenchmark("18test5m", 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastgr.DefaultOptions(fastgr.FastGRL)
+	opt.T1, opt.T2 = 5, 27
+	res, err := fastgr.Route(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Quality.Wirelength == 0 {
+		t.Fatal("facade routing produced no wirelength")
+	}
+	m := fastgr.EvaluateDetailedRouting(res)
+	if m.Wirelength < res.Report.Quality.Wirelength {
+		t.Fatalf("DR wirelength %d below GR %d", m.Wirelength, res.Report.Quality.Wirelength)
+	}
+}
+
+func TestFacadeBenchmarkNames(t *testing.T) {
+	names := fastgr.BenchmarkNames()
+	if len(names) != 12 {
+		t.Fatalf("want 12 benchmark names, got %d", len(names))
+	}
+	if _, err := fastgr.GenerateBenchmark("not-a-design", 0.5); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeVariants(t *testing.T) {
+	for _, v := range []fastgr.Variant{fastgr.CUGR, fastgr.FastGRL, fastgr.FastGRH} {
+		opt := fastgr.DefaultOptions(v)
+		if opt.RRRIters != 3 || opt.Workers != 16 {
+			t.Fatalf("%v: unexpected defaults %+v", v, opt)
+		}
+	}
+}

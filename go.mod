@@ -1,0 +1,3 @@
+module fastgr
+
+go 1.22

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fastgr/internal/core"
+	"fastgr/internal/gpu"
+	"fastgr/internal/pattern"
+)
+
+// The paper motivates two design choices beyond its numbered tables: the
+// zero-copy technique that keeps host<->device transfer "within 1s"
+// (Section IV-E) and the congestion-aware edge shifting in the planning
+// stage (Fig. 5). These ablations quantify both on this implementation.
+
+// ZeroCopyRow compares pattern-stage time with zero-copy against explicit
+// PCIe transfers for one design.
+type ZeroCopyRow struct {
+	Design       string
+	ZeroCopy     time.Duration // pattern time with zero-copy mapping
+	PCIe         time.Duration // pattern time with explicit copies
+	TransferGain float64       // PCIe / ZeroCopy
+}
+
+// ZeroCopyAblation reruns the FastGRL pattern stage with the device's
+// zero-copy mapping disabled.
+func ZeroCopyAblation(s *Suite) []ZeroCopyRow {
+	var rows []ZeroCopyRow
+	for _, name := range s.Cfg.Designs {
+		zc := s.Run(name, core.FastGRL).Report
+
+		opt := s.options(runKey{design: name, variant: core.FastGRL, rrrIters: -1})
+		opt.Device.ZeroCopy = false
+		res, err := core.Route(s.Design(name), opt)
+		if err != nil {
+			panic(fmt.Sprintf("bench: zero-copy ablation on %s: %v", name, err))
+		}
+		row := ZeroCopyRow{
+			Design:   name,
+			ZeroCopy: zc.Times.Pattern,
+			PCIe:     res.Report.Times.Pattern,
+		}
+		if row.ZeroCopy > 0 {
+			row.TransferGain = float64(row.PCIe) / float64(row.ZeroCopy)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintZeroCopyAblation writes the transfer ablation.
+func PrintZeroCopyAblation(w io.Writer, rows []ZeroCopyRow) {
+	fmt.Fprintf(w, "Ablation: zero-copy vs. explicit PCIe transfer (PATTERN stage, FastGRL)\n")
+	fmt.Fprintf(w, "%-10s %14s %14s %8s\n", "design", "zero-copy(ms)", "pcie(ms)", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %14s %14s %7.2fx\n", r.Design, ms(r.ZeroCopy), ms(r.PCIe), r.TransferGain)
+	}
+}
+
+// EdgeShiftRow compares quality with and without the planning-stage edge
+// shifting for one design.
+type EdgeShiftRow struct {
+	Design               string
+	ShortsWith           int
+	ShortsWithout        int
+	ScoreWith            float64
+	ScoreWithout         float64
+	RipupWith, RipupNoES int
+}
+
+// EdgeShiftAblation reruns FastGRL with edge shifting disabled.
+func EdgeShiftAblation(s *Suite) []EdgeShiftRow {
+	var rows []EdgeShiftRow
+	for _, name := range s.Cfg.Designs {
+		with := s.Run(name, core.FastGRL).Report
+
+		opt := s.options(runKey{design: name, variant: core.FastGRL, rrrIters: -1})
+		opt.NoEdgeShift = true
+		res, err := core.Route(s.Design(name), opt)
+		if err != nil {
+			panic(fmt.Sprintf("bench: edge-shift ablation on %s: %v", name, err))
+		}
+		rows = append(rows, EdgeShiftRow{
+			Design:        name,
+			ShortsWith:    with.Quality.Shorts,
+			ShortsWithout: res.Report.Quality.Shorts,
+			ScoreWith:     with.Score,
+			ScoreWithout:  res.Report.Score,
+			RipupWith:     with.NetsToRipup,
+			RipupNoES:     res.Report.NetsToRipup,
+		})
+	}
+	return rows
+}
+
+// PrintEdgeShiftAblation writes the planning ablation.
+func PrintEdgeShiftAblation(w io.Writer, rows []EdgeShiftRow) {
+	fmt.Fprintf(w, "Ablation: congestion-aware edge shifting (FastGRL)\n")
+	fmt.Fprintf(w, "%-10s %8s %8s %12s %12s %8s %8s\n",
+		"design", "S with", "S w/o", "score with", "score w/o", "rip w", "rip w/o")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %12.1f %12.1f %8d %8d\n",
+			r.Design, r.ShortsWith, r.ShortsWithout, r.ScoreWith, r.ScoreWithout,
+			r.RipupWith, r.RipupNoES)
+	}
+}
+
+// DeviceSweepRow scales the simulated device and reports the L-kernel
+// pattern time — a what-if study on GPU generations.
+type DeviceSweepRow struct {
+	Design  string
+	SMs     int
+	Pattern time.Duration
+}
+
+// DeviceSweep reruns the FastGRL pattern stage with 1/4x, 1/2x, 1x and 2x
+// the RTX 3090's SM count.
+func DeviceSweep(s *Suite, name string) []DeviceSweepRow {
+	base := gpu.RTX3090()
+	var rows []DeviceSweepRow
+	for _, sms := range []int{base.SMCount / 4, base.SMCount / 2, base.SMCount, base.SMCount * 2} {
+		opt := s.options(runKey{design: name, variant: core.FastGRL, rrrIters: -1})
+		opt.Device.SMCount = sms
+		res, err := core.Route(s.Design(name), opt)
+		if err != nil {
+			panic(fmt.Sprintf("bench: device sweep on %s: %v", name, err))
+		}
+		rows = append(rows, DeviceSweepRow{Design: name, SMs: sms, Pattern: res.Report.Times.Pattern})
+	}
+	return rows
+}
+
+// PrintDeviceSweep writes the SM-count sweep.
+func PrintDeviceSweep(w io.Writer, rows []DeviceSweepRow) {
+	fmt.Fprintf(w, "Ablation: pattern-stage time vs. simulated SM count\n")
+	fmt.Fprintf(w, "%-10s %6s %14s\n", "design", "SMs", "PATTERN(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %14s\n", r.Design, r.SMs, ms(r.Pattern))
+	}
+}
+
+// StaircaseRow compares the hybrid kernel against the three-bend staircase
+// extension (Section IV-F's "more bend points") on one design.
+type StaircaseRow struct {
+	Design                    string
+	HybridTime, StairTime     time.Duration
+	HybridShorts, StairShorts int
+	HybridScore, StairScore   float64
+}
+
+// StaircaseAblation runs the FastGRH pipeline with the staircase kernel in
+// place of the hybrid kernel.
+func StaircaseAblation(s *Suite) []StaircaseRow {
+	var rows []StaircaseRow
+	mode := pattern.Staircase
+	for _, name := range s.Cfg.Designs {
+		h := s.Run(name, core.FastGRH).Report
+		opt := s.options(runKey{design: name, variant: core.FastGRH, rrrIters: -1})
+		opt.PatternModeOverride = &mode
+		res, err := core.Route(s.Design(name), opt)
+		if err != nil {
+			panic(fmt.Sprintf("bench: staircase ablation on %s: %v", name, err))
+		}
+		rows = append(rows, StaircaseRow{
+			Design:       name,
+			HybridTime:   h.Times.Pattern,
+			StairTime:    res.Report.Times.Pattern,
+			HybridShorts: h.Quality.Shorts,
+			StairShorts:  res.Report.Quality.Shorts,
+			HybridScore:  h.Score,
+			StairScore:   res.Report.Score,
+		})
+	}
+	return rows
+}
+
+// PrintStaircaseAblation writes the extension study.
+func PrintStaircaseAblation(w io.Writer, rows []StaircaseRow) {
+	fmt.Fprintf(w, "Extension: three-bend staircase kernel vs. hybrid (Section IV-F)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %8s %8s %12s %12s\n",
+		"design", "hyb PAT(ms)", "stair PAT", "hyb S", "stair S", "hyb score", "stair score")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12s %12s %8d %8d %12.1f %12.1f\n",
+			r.Design, ms(r.HybridTime), ms(r.StairTime),
+			r.HybridShorts, r.StairShorts, r.HybridScore, r.StairScore)
+	}
+}
+
+// HistoryRow compares plain rip-up-and-reroute against negotiated-congestion
+// (history-based) rip-up on one design.
+type HistoryRow struct {
+	Design                  string
+	PlainShorts, HistShorts int
+	PlainScore, HistScore   float64
+	PlainMazeTime, HistMaze time.Duration
+}
+
+// HistoryAblation reruns FastGRL with Archer-style history enabled.
+func HistoryAblation(s *Suite) []HistoryRow {
+	var rows []HistoryRow
+	for _, name := range s.Cfg.Designs {
+		plain := s.Run(name, core.FastGRL).Report
+		opt := s.options(runKey{design: name, variant: core.FastGRL, rrrIters: -1})
+		opt.HistoryRRR = true
+		res, err := core.Route(s.Design(name), opt)
+		if err != nil {
+			panic(fmt.Sprintf("bench: history ablation on %s: %v", name, err))
+		}
+		rows = append(rows, HistoryRow{
+			Design:        name,
+			PlainShorts:   plain.Quality.Shorts,
+			HistShorts:    res.Report.Quality.Shorts,
+			PlainScore:    plain.Score,
+			HistScore:     res.Report.Score,
+			PlainMazeTime: plain.Times.Maze,
+			HistMaze:      res.Report.Times.Maze,
+		})
+	}
+	return rows
+}
+
+// PrintHistoryAblation writes the negotiation study.
+func PrintHistoryAblation(w io.Writer, rows []HistoryRow) {
+	fmt.Fprintf(w, "Ablation: history-based (negotiated) rip-up and reroute (FastGRL)\n")
+	fmt.Fprintf(w, "%-10s %8s %8s %12s %12s %10s %10s\n",
+		"design", "S plain", "S hist", "score plain", "score hist", "maze pl", "maze hist")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %12.1f %12.1f %10s %10s\n",
+			r.Design, r.PlainShorts, r.HistShorts, r.PlainScore, r.HistScore,
+			ms(r.PlainMazeTime), ms(r.HistMaze))
+	}
+}

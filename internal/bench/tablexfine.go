@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fastgr/internal/core"
+	"fastgr/internal/drcu"
+)
+
+// TableXFineRow is the fine-grid detailed-routing evaluation of one design
+// under all three routers' guides — the Dr.CU-style counterpart of Table X
+// (package dr provides the fast track-assignment estimate; package drcu
+// actually routes on a refined grid).
+type TableXFineRow struct {
+	Design         string
+	CUGR, GRL, GRH drcu.Metrics
+}
+
+// TableXFine detail-routes every design's guides with the fine-grid router.
+func TableXFine(s *Suite) []TableXFineRow {
+	cfg := drcu.DefaultConfig()
+	var rows []TableXFineRow
+	for _, name := range s.Cfg.Designs {
+		rows = append(rows, TableXFineRow{
+			Design: name,
+			CUGR:   drcu.Evaluate(s.Run(name, core.CUGR), cfg),
+			GRL:    drcu.Evaluate(s.Run(name, core.FastGRL), cfg),
+			GRH:    drcu.Evaluate(s.Run(name, core.FastGRH), cfg),
+		})
+	}
+	return rows
+}
+
+// PrintTableXFine writes the fine-grid detailed-routing comparison.
+func PrintTableXFine(w io.Writer, rows []TableXFineRow) {
+	fmt.Fprintf(w, "Table X (fine): quality after Dr.CU-style fine-grid detailed routing\n")
+	fmt.Fprintf(w, "%-10s | %-30s | %-30s | %-30s\n", "design",
+		"CUGR  WL/vias/shorts/spc", "FastGRL  WL/vias/shorts/spc", "FastGRH  WL/vias/shorts/spc")
+	f := func(m drcu.Metrics) string {
+		return fmt.Sprintf("%9d %8d %5d %5d", m.Wirelength, m.Vias, m.Shorts, m.Spacing)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %s | %s | %s\n", r.Design, f(r.CUGR), f(r.GRL), f(r.GRH))
+		if u := r.CUGR.Unrouted + r.GRL.Unrouted + r.GRH.Unrouted; u > 0 {
+			fmt.Fprintf(w, "%-10s   (%d nets unroutable within guides)\n", "", u)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+// Package core assembles the paper's global-routing framework (Fig. 5):
+// pattern routing planning (Steiner trees + edge shifting + net ordering +
+// Algorithm-1 batching), the pattern routing stage (CPU-sequential for the
+// CUGR baseline, batched GPU kernels for FastGR), and the rip-up-and-reroute
+// iterations (batch-barrier parallel maze routing for the baseline,
+// task-graph-scheduled maze routing for FastGR).
+//
+// Three router variants are provided, matching the evaluation:
+//
+//	CUGR     — sequential L-shape pattern routing + batch-barrier RRR.
+//	FastGRL  — GPU L-shape kernel + task-graph scheduler (runtime-oriented).
+//	FastGRH  — GPU hybrid-shape kernel with selection + task-graph scheduler
+//	           (quality-oriented).
+//
+// Reported stage times come from the deterministic models described in
+// DESIGN.md (simulated GPU clock, 16-worker makespan, op-count CPU time);
+// wall-clock on the host is recorded alongside.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+	"fastgr/internal/gpu"
+	"fastgr/internal/grid"
+	"fastgr/internal/maze"
+	"fastgr/internal/metrics"
+	"fastgr/internal/pattern"
+	"fastgr/internal/patterngpu"
+	"fastgr/internal/route"
+	"fastgr/internal/sched"
+	"fastgr/internal/stt"
+	"fastgr/internal/taskflow"
+)
+
+// Variant selects the router configuration.
+type Variant int
+
+const (
+	CUGR Variant = iota
+	FastGRL
+	FastGRH
+)
+
+func (v Variant) String() string {
+	switch v {
+	case CUGR:
+		return "CUGR"
+	case FastGRL:
+		return "FastGRL"
+	default:
+		return "FastGRH"
+	}
+}
+
+// Options configures one routing run.
+type Options struct {
+	Variant Variant
+	// Scheme orders nets in both stages; the paper settles on ascending
+	// bounding-box half perimeter (Section IV-C).
+	Scheme sched.Scheme
+	// RRRSchemeOverride, when non-nil, replaces Scheme in the rip-up and
+	// reroute iterations only — the Table V experiment.
+	RRRSchemeOverride *sched.Scheme
+	// RRRIters is the number of rip-up-and-reroute iterations (paper: 3).
+	RRRIters int
+	// T1, T2 are the selection thresholds on two-pin-net HPWL (paper: 100
+	// and 500 at full scale; experiments scale them with the design).
+	T1, T2 int
+	// SelectionOff applies the hybrid kernel to every two-pin net — the
+	// Table VI ablation.
+	SelectionOff bool
+	// NoEdgeShift disables the congestion-aware edge shifting of the
+	// planning stage (an ablation of Fig. 5's planning box).
+	NoEdgeShift bool
+	// PatternModeOverride, when non-nil, replaces the variant's pattern
+	// kernel — e.g. pattern.Staircase to exercise the three-bend extension
+	// of Section IV-F on the full pipeline.
+	PatternModeOverride *pattern.Mode
+	// HistoryRRR enables negotiated-congestion history (Archer-style, the
+	// paper's reference [22]): chronically overflowed edges accumulate a
+	// persistent penalty across rip-up iterations.
+	HistoryRRR bool
+	// HistoryBump is the per-overflow-unit history increment added after
+	// each iteration (only with HistoryRRR).
+	HistoryBump float64
+	// MazeMargin inflates each net's maze search window (and its conflict
+	// footprint) beyond its bounding box.
+	MazeMargin int
+	// Workers is the modeled CPU worker count for parallel-RRR makespans
+	// (paper host: 16 cores).
+	Workers int
+	// ExecWorkers is the number of real goroutines used to execute the task
+	// graph (functional parallelism; does not affect reported times).
+	ExecWorkers int
+	// Device is the simulated GPU; CPU models the host.
+	Device gpu.Spec
+	CPU    gpu.CPUModel
+	// MazeNsPerExpansion converts maze search work (node expansions) into
+	// modeled time; heap-based Dijkstra costs tens of ns per settled node.
+	MazeNsPerExpansion float64
+}
+
+// DefaultOptions returns the paper-faithful configuration for a variant.
+func DefaultOptions(v Variant) Options {
+	return Options{
+		Variant:            v,
+		Scheme:             sched.HPWLAsc,
+		RRRIters:           3,
+		T1:                 100,
+		T2:                 500,
+		MazeMargin:         4,
+		Workers:            16,
+		ExecWorkers:        4,
+		Device:             gpu.RTX3090(),
+		CPU:                gpu.XeonGold6226R(),
+		MazeNsPerExpansion: 45,
+	}
+}
+
+// StageTimes reports modeled and wall-clock stage durations. TOTAL is
+// PATTERN + MAZE, the two stages the paper's runtime tables compare (the
+// planning stage is identical across variants).
+type StageTimes struct {
+	Pattern time.Duration // modeled pattern routing stage
+	Maze    time.Duration // modeled rip-up-and-reroute iterations
+	Total   time.Duration
+
+	PlanWall    time.Duration
+	PatternWall time.Duration
+	MazeWall    time.Duration
+}
+
+// IterStats records one rip-up-and-reroute iteration.
+type IterStats struct {
+	Nets          int           // nets ripped up in this iteration
+	Expansions    int64         // total maze expansions
+	TaskGraphTime time.Duration // modeled DAG-schedule makespan
+	BatchTime     time.Duration // modeled batch-barrier makespan
+	ConflictEdges int
+}
+
+// Report is the measurable outcome of one routing run.
+type Report struct {
+	Design  string
+	Variant string
+
+	Quality metrics.Quality
+	Score   float64
+
+	Times StageTimes
+
+	// Pattern stage accounting.
+	PatternBatches int
+	PatternSeqOps  int64         // total DP work (sequential-CPU currency)
+	PatternSeqTime time.Duration // modeled single-core time of that work
+	HybridEdges    int           // two-pin nets routed by the hybrid kernel
+	TotalEdges     int
+
+	// NetsToRipup is the violating-net count right after the pattern stage.
+	NetsToRipup int
+	RRR         []IterStats
+	// MazeTaskGraphTime / MazeBatchTime sum both scheduling models over all
+	// iterations, regardless of variant, for Table VIII's scheduler column.
+	MazeTaskGraphTime time.Duration
+	MazeBatchTime     time.Duration
+}
+
+// Result bundles the report with the routed state for downstream consumers
+// (detailed-routing evaluation, guide dumps, congestion maps).
+type Result struct {
+	Report Report
+	Grid   *grid.Graph
+	Design *design.Design
+	Trees  []*stt.Tree       // by net ID
+	Routes []*route.NetRoute // by net ID
+}
+
+// Route runs the full two-stage flow on a design.
+func Route(d *design.Design, opt Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.RRRIters < 0 || opt.Workers < 0 {
+		return nil, fmt.Errorf("core: negative option")
+	}
+	r := &runner{d: d, opt: opt}
+	return r.run()
+}
+
+type runner struct {
+	d   *design.Design
+	opt Options
+
+	g      *grid.Graph
+	trees  []*stt.Tree
+	routes []*route.NetRoute
+	rep    Report
+}
+
+func (r *runner) run() (*Result, error) {
+	r.g = grid.NewFromDesign(r.d)
+	r.rep.Design = r.d.Name
+	r.rep.Variant = r.opt.Variant.String()
+
+	r.plan()
+	r.patternStage()
+	if err := r.rrrStage(); err != nil {
+		return nil, err
+	}
+	r.finish()
+
+	return &Result{
+		Report: r.rep,
+		Grid:   r.g,
+		Design: r.d,
+		Trees:  r.trees,
+		Routes: r.routes,
+	}, nil
+}
+
+// plan builds and congestion-shifts the Steiner tree of every net (the
+// pattern routing planning box of Fig. 5).
+func (r *runner) plan() {
+	start := time.Now()
+	est := r.g.Estimator2D()
+	maxID := 0
+	for _, n := range r.d.Nets {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	r.trees = make([]*stt.Tree, maxID+1)
+	r.routes = make([]*route.NetRoute, maxID+1)
+	for _, n := range r.d.Nets {
+		t := stt.Build(n)
+		if !r.opt.NoEdgeShift {
+			t.Shift(est)
+		}
+		r.trees[n.ID] = t
+	}
+	r.rep.Times.PlanWall = time.Since(start)
+}
+
+// patternStage routes every net with the variant's pattern kernel, batch by
+// batch, committing demand after each batch.
+func (r *runner) patternStage() {
+	start := time.Now()
+
+	ordered := append([]*design.Net(nil), r.d.Nets...)
+	sched.SortNets(ordered, r.opt.Scheme)
+	tasks := make([]sched.Task, len(ordered))
+	for i, n := range ordered {
+		tasks[i] = sched.Task{ID: i, BBox: r.trees[n.ID].BBox(), Payload: n}
+	}
+	batches := sched.ExtractBatches(tasks)
+	r.rep.PatternBatches = len(batches)
+
+	cfg := pattern.Config{Mode: pattern.LShape}
+	if r.opt.Variant == FastGRH {
+		cfg = pattern.Config{
+			Mode:      pattern.Hybrid,
+			Selection: !r.opt.SelectionOff,
+			T1:        r.opt.T1,
+			T2:        r.opt.T2,
+		}
+	}
+	if r.opt.PatternModeOverride != nil {
+		cfg.Mode = *r.opt.PatternModeOverride
+		if cfg.Mode != pattern.LShape {
+			cfg.Selection = !r.opt.SelectionOff
+			cfg.T1, cfg.T2 = r.opt.T1, r.opt.T2
+		}
+	}
+
+	switch r.opt.Variant {
+	case CUGR:
+		// Sequential CPU pattern routing, net by net in batch order.
+		var ops int64
+		for _, batch := range batches {
+			for _, task := range batch {
+				n := task.Payload.(*design.Net)
+				res := pattern.SolveCPU(r.g, r.trees[n.ID], cfg)
+				res.Route.Commit(r.g)
+				r.routes[n.ID] = res.Route
+				ops += res.Ops.Total()
+				r.rep.TotalEdges += res.Edges
+				r.rep.HybridEdges += res.HybridEdges
+			}
+		}
+		r.rep.PatternSeqOps = ops
+		r.rep.PatternSeqTime = r.opt.CPU.SequentialTime(ops)
+		r.rep.Times.Pattern = r.rep.PatternSeqTime
+	default:
+		// GPU-friendly pattern routing: one kernel per batch, one block per
+		// net (Fig. 7).
+		router := patterngpu.New(r.opt.Device, cfg)
+		for _, batch := range batches {
+			trees := make([]*stt.Tree, len(batch))
+			nets := make([]*design.Net, len(batch))
+			for i, task := range batch {
+				nets[i] = task.Payload.(*design.Net)
+				trees[i] = r.trees[nets[i].ID]
+			}
+			br := router.RouteBatch(r.g, trees)
+			for i, res := range br.Results {
+				res.Route.Commit(r.g)
+				r.routes[nets[i].ID] = res.Route
+				r.rep.TotalEdges += res.Edges
+				r.rep.HybridEdges += res.HybridEdges
+			}
+			r.rep.PatternSeqOps += br.SeqOps
+			r.rep.Times.Pattern += br.KernelTime
+		}
+		r.rep.PatternSeqTime = r.opt.CPU.SequentialTime(r.rep.PatternSeqOps)
+	}
+	r.rep.Times.PatternWall = time.Since(start)
+}
+
+// rrrStage runs the rip-up-and-reroute iterations with the variant's
+// scheduling strategy.
+func (r *runner) rrrStage() error {
+	start := time.Now()
+	scheme := r.opt.Scheme
+	if r.opt.RRRSchemeOverride != nil {
+		scheme = *r.opt.RRRSchemeOverride
+	}
+	if r.opt.HistoryRRR {
+		r.g.EnableHistory()
+	}
+
+	for iter := 0; iter < r.opt.RRRIters; iter++ {
+		violating := r.violatingNets()
+		if iter == 0 {
+			r.rep.NetsToRipup = len(violating)
+		}
+		if len(violating) == 0 {
+			break
+		}
+		sched.SortNets(violating, scheme)
+
+		// Two task views: the execution graph conflicts on the full maze
+		// window (tasks with disjoint windows touch disjoint grid state and
+		// may safely run concurrently), while the reported scheduling models
+		// conflict on the net bounding boxes, as the paper's task graph does.
+		tasks := make([]sched.Task, len(violating))
+		modelTasks := make([]sched.Task, len(violating))
+		for i, n := range violating {
+			win := n.BBox().Inflate(r.opt.MazeMargin).ClampTo(r.g.W, r.g.H)
+			tasks[i] = sched.Task{ID: i, BBox: win, Payload: n}
+			modelTasks[i] = sched.Task{ID: i, BBox: n.BBox(), Payload: n}
+		}
+		graph := sched.BuildGraph(tasks, r.g.W, r.g.H)
+		modelGraph := sched.BuildGraph(modelTasks, r.g.W, r.g.H)
+
+		durations := make([]time.Duration, len(tasks))
+		expansions := make([]int64, len(tasks))
+		var errMu sync.Mutex
+		var firstErr error
+		work := func(ti int) {
+			n := tasks[ti].Payload.(*design.Net)
+			old := r.routes[n.ID]
+			old.Uncommit(r.g)
+			pins := route.PinTerminals(r.trees[n.ID])
+			nr, st, err := maze.RouteNet(r.g, n.ID, pins, tasks[ti].BBox)
+			if err != nil {
+				// Restore the old route so the grid stays consistent.
+				old.Commit(r.g)
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			nr.Commit(r.g)
+			r.routes[n.ID] = nr
+			expansions[ti] = st.Expansions
+			durations[ti] = time.Duration(float64(st.Expansions) * r.opt.MazeNsPerExpansion)
+		}
+
+		if r.opt.Variant == CUGR {
+			// Batch-barrier strategy: batches execute in order; tasks inside
+			// a batch are independent (executed sequentially here, modeled
+			// as P-worker parallel below).
+			for _, batch := range sched.ExtractBatches(tasks) {
+				for _, task := range batch {
+					work(task.ID)
+				}
+			}
+		} else {
+			taskflow.Run(graph, geom.Max(1, r.opt.ExecWorkers), work)
+		}
+		if firstErr != nil {
+			return fmt.Errorf("core: rip-up iteration %d: %w", iter, firstErr)
+		}
+
+		// Both scheduling models over the same recorded durations, on the
+		// paper-faithful (bounding-box) conflict structure.
+		idBatches := [][]int{}
+		for _, b := range sched.ExtractBatches(modelTasks) {
+			ids := make([]int, len(b))
+			for i, task := range b {
+				ids[i] = task.ID
+			}
+			idBatches = append(idBatches, ids)
+		}
+		tg := taskflow.Makespan(modelGraph, durations, r.opt.Workers)
+		bb := taskflow.BatchMakespan(idBatches, durations, r.opt.Workers)
+
+		var totalExp int64
+		for _, e := range expansions {
+			totalExp += e
+		}
+		r.rep.RRR = append(r.rep.RRR, IterStats{
+			Nets:          len(violating),
+			Expansions:    totalExp,
+			TaskGraphTime: tg,
+			BatchTime:     bb,
+			ConflictEdges: modelGraph.Edges,
+		})
+		r.rep.MazeTaskGraphTime += tg
+		r.rep.MazeBatchTime += bb
+		if r.opt.Variant == CUGR {
+			r.rep.Times.Maze += bb
+		} else {
+			r.rep.Times.Maze += tg
+		}
+		if r.opt.HistoryRRR {
+			bump := r.opt.HistoryBump
+			if bump <= 0 {
+				bump = 0.5
+			}
+			r.g.BumpOverflowHistory(bump)
+		}
+	}
+	r.rep.Times.MazeWall = time.Since(start)
+	return nil
+}
+
+// violatingNets returns the nets whose routes cross an over-capacity edge.
+func (r *runner) violatingNets() []*design.Net {
+	var out []*design.Net
+	for _, n := range r.d.Nets {
+		if rt := r.routes[n.ID]; rt != nil && rt.HasOverflow(r.g) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// finish computes final quality and the score.
+func (r *runner) finish() {
+	for _, n := range r.d.Nets {
+		if rt := r.routes[n.ID]; rt != nil {
+			r.rep.Quality.Wirelength += rt.Wirelength(r.g)
+			r.rep.Quality.Vias += rt.ViaCount(r.g)
+		}
+	}
+	wire, via := r.g.Overflow()
+	r.rep.Quality.Shorts = wire + via
+	r.rep.Score = r.rep.Quality.Score()
+	r.rep.Times.Total = r.rep.Times.Pattern + r.rep.Times.Maze
+}

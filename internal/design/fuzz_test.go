@@ -1,0 +1,44 @@
+package design
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the design parser: arbitrary input must never panic, and
+// anything it accepts must be a valid design that round-trips.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, MustGenerate("18test5m", 0.003)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("design x 10 10 3\ncaps 1 8 8\nviacap 4\nnet n0 2\npin 1 1 1\npin 5 5 1\nend\n")
+	f.Add("design x 10 10 3\ncaps 1 8 8\nblockage 2 0 0 5 5 0.5\nend\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Add("net orphan 1\npin 0 0 1\nend\n")
+	f.Add("design x -1 -1 0\nend\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid design: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("Write failed on accepted design: %v", err)
+		}
+		d2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(d2.Nets) != len(d.Nets) || d2.GridW != d.GridW || d2.GridH != d.GridH {
+			t.Fatal("round trip changed the design")
+		}
+	})
+}

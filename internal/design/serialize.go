@@ -1,0 +1,142 @@
+package design
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"fastgr/internal/geom"
+)
+
+// The on-disk format is a minimal line-oriented text format in the spirit of
+// the contest inputs:
+//
+//	design <name> <gridW> <gridH> <layers>
+//	caps <c1> <c2> ... <cL>
+//	viacap <c>
+//	blockage <layer> <lox> <loy> <hix> <hiy> <density>
+//	net <name> <npins>
+//	  pin <x> <y> <layer>
+//	end
+//
+// It exists so generated benchmarks can be saved once and replayed, and so
+// users can hand-write small designs for the examples.
+
+// Write serializes d to w.
+func Write(w io.Writer, d *Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "design %s %d %d %d\n", d.Name, d.GridW, d.GridH, d.NumLayers)
+	fmt.Fprint(bw, "caps")
+	for _, c := range d.LayerCapacity {
+		fmt.Fprintf(bw, " %d", c)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "viacap %d\n", d.ViaCapacity)
+	for _, b := range d.Blockages {
+		fmt.Fprintf(bw, "blockage %d %d %d %d %d %.4f\n",
+			b.Layer, b.Region.Lo.X, b.Region.Lo.Y, b.Region.Hi.X, b.Region.Hi.Y, b.Density)
+	}
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "net %s %d\n", n.Name, len(n.Pins))
+		for _, p := range n.Pins {
+			fmt.Fprintf(bw, "pin %d %d %d\n", p.Pos.X, p.Pos.Y, p.Layer)
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Read parses a design in the format produced by Write.
+func Read(r io.Reader) (*Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	d := &Design{ViaCapacity: defaultViaCap}
+	var cur *Net
+	pinsLeft := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "design":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("line %d: design wants 4 args", line)
+			}
+			d.Name = fields[1]
+			if _, err := fmt.Sscanf(strings.Join(fields[2:], " "), "%d %d %d",
+				&d.GridW, &d.GridH, &d.NumLayers); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+		case "caps":
+			for _, f := range fields[1:] {
+				var c int
+				if _, err := fmt.Sscanf(f, "%d", &c); err != nil {
+					return nil, fmt.Errorf("line %d: bad capacity %q", line, f)
+				}
+				d.LayerCapacity = append(d.LayerCapacity, c)
+			}
+		case "viacap":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: viacap wants 1 arg", line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &d.ViaCapacity); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+		case "blockage":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("line %d: blockage wants 6 args", line)
+			}
+			var b Blockage
+			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d %d %d %f",
+				&b.Layer, &b.Region.Lo.X, &b.Region.Lo.Y,
+				&b.Region.Hi.X, &b.Region.Hi.Y, &b.Density); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			d.Blockages = append(d.Blockages, b)
+		case "net":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: net wants 2 args", line)
+			}
+			cur = &Net{ID: len(d.Nets), Name: fields[1]}
+			if _, err := fmt.Sscanf(fields[2], "%d", &pinsLeft); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			d.Nets = append(d.Nets, cur)
+		case "pin":
+			if cur == nil || pinsLeft <= 0 {
+				return nil, fmt.Errorf("line %d: pin outside net", line)
+			}
+			var p Pin
+			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d",
+				&p.Pos.X, &p.Pos.Y, &p.Layer); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			cur.Pins = append(cur.Pins, p)
+			pinsLeft--
+		case "end":
+			if err := d.Validate(); err != nil {
+				return nil, err
+			}
+			return d, nil
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("design: missing end directive")
+}
+
+// ParseRect is a convenience for tests and tools: "lox,loy,hix,hiy".
+func ParseRect(s string) (geom.Rect, error) {
+	var r geom.Rect
+	if _, err := fmt.Sscanf(s, "%d,%d,%d,%d", &r.Lo.X, &r.Lo.Y, &r.Hi.X, &r.Hi.Y); err != nil {
+		return geom.Rect{}, err
+	}
+	return r, nil
+}

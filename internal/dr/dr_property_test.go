@@ -1,0 +1,59 @@
+package dr
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastgr/internal/geom"
+	"fastgr/internal/route"
+)
+
+// TestMetricsMonotoneInLoad: adding nets to a panel never reduces shorts or
+// spacing violations — congestion only accumulates.
+func TestMetricsMonotoneInLoad(t *testing.T) {
+	g := testGrid(t, 3)
+	rng := rand.New(rand.NewSource(2))
+	var routes []*route.NetRoute
+	prev := Metrics{}
+	for i := 0; i < 25; i++ {
+		y := 3 + rng.Intn(4) // concentrate on a few rows
+		x1 := rng.Intn(20)
+		x2 := x1 + 4 + rng.Intn(8)
+		routes = append(routes, routeWithSeg(i, 3, geom.Point{X: x1, Y: y}, geom.Point{X: x2, Y: y}))
+		m := Evaluate(g, routes)
+		if m.Shorts < prev.Shorts {
+			t.Fatalf("shorts decreased when adding net %d: %d -> %d", i, prev.Shorts, m.Shorts)
+		}
+		if m.Wirelength < prev.Wirelength {
+			t.Fatalf("wirelength decreased when adding net %d", i)
+		}
+		prev = m
+	}
+	if prev.Shorts == 0 {
+		t.Fatal("25 nets on 4 rows of capacity 3 should overflow")
+	}
+}
+
+// TestPanelsIndependent: metrics over disjoint panels add up.
+func TestPanelsIndependent(t *testing.T) {
+	g := testGrid(t, 2)
+	a := []*route.NetRoute{
+		routeWithSeg(1, 3, geom.Point{X: 0, Y: 2}, geom.Point{X: 10, Y: 2}),
+		routeWithSeg(2, 3, geom.Point{X: 0, Y: 2}, geom.Point{X: 10, Y: 2}),
+		routeWithSeg(3, 3, geom.Point{X: 0, Y: 2}, geom.Point{X: 10, Y: 2}),
+	}
+	b := []*route.NetRoute{
+		routeWithSeg(4, 3, geom.Point{X: 0, Y: 9}, geom.Point{X: 8, Y: 9}),
+		routeWithSeg(5, 3, geom.Point{X: 0, Y: 9}, geom.Point{X: 8, Y: 9}),
+	}
+	ma := Evaluate(g, a)
+	mb := Evaluate(g, b)
+	both := Evaluate(g, append(append([]*route.NetRoute{}, a...), b...))
+	if both.Shorts != ma.Shorts+mb.Shorts {
+		t.Fatalf("shorts not additive over disjoint panels: %d vs %d+%d",
+			both.Shorts, ma.Shorts, mb.Shorts)
+	}
+	if both.Wirelength != ma.Wirelength+mb.Wirelength {
+		t.Fatal("wirelength not additive over disjoint panels")
+	}
+}

@@ -1,0 +1,108 @@
+package drcu
+
+import (
+	"testing"
+
+	"fastgr/internal/core"
+	"fastgr/internal/design"
+	"fastgr/internal/dr"
+)
+
+func routed(t *testing.T, name string, v core.Variant) *core.Result {
+	t.Helper()
+	d := design.MustGenerate(name, 0.003)
+	opt := core.DefaultOptions(v)
+	opt.T1, opt.T2 = 5, 27
+	res, err := core.Route(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEvaluateRoutesEveryNet(t *testing.T) {
+	res := routed(t, "18test5m", core.FastGRL)
+	m := Evaluate(res, DefaultConfig())
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Unrouted != 0 {
+		t.Fatalf("%d nets unroutable within their guides", m.Unrouted)
+	}
+	if m.Wirelength == 0 || m.Vias == 0 {
+		t.Fatalf("empty detailed routing: %+v", m)
+	}
+	// Fine wirelength must be at least Refine times the coarse wirelength
+	// minus slack effects: each coarse edge is Refine fine edges, though
+	// detailed routing may shortcut inside guide slack. A loose lower bound:
+	gr := res.Report.Quality.Wirelength
+	if m.Wirelength < gr {
+		t.Fatalf("fine wirelength %d below coarse %d", m.Wirelength, gr)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	res := routed(t, "18test5m", core.FastGRL)
+	a := Evaluate(res, DefaultConfig())
+	b := Evaluate(res, DefaultConfig())
+	if a != b {
+		t.Fatalf("detailed routing nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGuideSlackLoosensRouting(t *testing.T) {
+	res := routed(t, "18test5m", core.FastGRL)
+	tight := Evaluate(res, Config{GuideSlack: 0, FineCapacity: 2})
+	loose := Evaluate(res, Config{GuideSlack: 2, FineCapacity: 2})
+	if err := tight.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy sequential routing is not monotone in slack (detours through
+	// shared slack can crowd neighbors), but reachability is: extra slack
+	// never disconnects a net that tight guides could route.
+	if loose.Unrouted > tight.Unrouted {
+		t.Fatalf("slack disconnected nets: %d -> %d", tight.Unrouted, loose.Unrouted)
+	}
+	if err := loose.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherFineCapacityReducesShorts(t *testing.T) {
+	res := routed(t, "18test5m", core.FastGRL)
+	small := Evaluate(res, Config{GuideSlack: 1, FineCapacity: 1})
+	big := Evaluate(res, Config{GuideSlack: 1, FineCapacity: 4})
+	if big.Shorts > small.Shorts {
+		t.Fatalf("more tracks increased shorts: %d -> %d", small.Shorts, big.Shorts)
+	}
+	if small.Shorts == 0 {
+		t.Fatal("capacity-1 detailed routing of a congested twin should short somewhere")
+	}
+}
+
+func TestAgreesWithEstimatorDirection(t *testing.T) {
+	// The fine router and the track-assignment estimator must agree on the
+	// congestion ordering of a clean vs. congested design.
+	clean := routed(t, "18test5", core.FastGRL)
+	hot := routed(t, "18test5m", core.FastGRL)
+	fineClean := Evaluate(clean, DefaultConfig())
+	fineHot := Evaluate(hot, DefaultConfig())
+	estClean := dr.Evaluate(clean.Grid, clean.Routes)
+	estHot := dr.Evaluate(hot.Grid, hot.Routes)
+	if (fineHot.Shorts > fineClean.Shorts) != (estHot.Shorts > estClean.Shorts) {
+		t.Fatalf("evaluators disagree on which design is more congested: fine %d/%d est %d/%d",
+			fineClean.Shorts, fineHot.Shorts, estClean.Shorts, estHot.Shorts)
+	}
+}
+
+func TestScore(t *testing.T) {
+	m := Metrics{Wirelength: 100, Vias: 10, Shorts: 2, Spacing: 3, Unrouted: 1}
+	want := 0.5*100 + 4*10 + 500*2 + 100*3 + 5000*1
+	if got := m.Score(); got != want {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+	bad := Metrics{Wirelength: -1}
+	if bad.Validate() == nil {
+		t.Fatal("negative metric accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package geom provides the small geometric vocabulary shared by every
+// routing substrate: integer 2-D/3-D points on the global-routing grid,
+// axis-aligned rectangles, closed integer intervals, and the Manhattan
+// metrics (distance, half-perimeter wirelength) that global routers reason
+// in. All coordinates are G-cell indices, not database units.
+package geom
+
+import "fmt"
+
+// Point is a 2-D G-cell coordinate.
+type Point struct {
+	X, Y int
+}
+
+// Point3 is a 3-D G-cell coordinate: a 2-D position plus a metal layer.
+// Layers are 1-based to match the paper's notation (0 < l <= L).
+type Point3 struct {
+	X, Y, Layer int
+}
+
+// P returns the 2-D projection of a 3-D point.
+func (p Point3) P() Point { return Point{p.X, p.Y} }
+
+func (p Point) String() string  { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+func (p Point3) String() string { return fmt.Sprintf("(%d,%d,l%d)", p.X, p.Y, p.Layer) }
+
+// ManhattanDist returns the L1 distance between two 2-D points.
+func ManhattanDist(a, b Point) int {
+	return Abs(a.X-b.X) + Abs(a.Y-b.Y)
+}
+
+// Abs returns the absolute value of x.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Rect is an axis-aligned rectangle with inclusive bounds, the natural shape
+// of a net bounding box on the G-cell grid. An empty Rect is one with
+// Lo.X > Hi.X or Lo.Y > Hi.Y.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// NewRect builds the normalized rectangle spanning two corner points.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Lo: Point{Min(a.X, b.X), Min(a.Y, b.Y)},
+		Hi: Point{Max(a.X, b.X), Max(a.Y, b.Y)},
+	}
+}
+
+// BoundingBox returns the smallest Rect covering all points. It panics on an
+// empty slice: a net always has at least one pin.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: bounding box of no points")
+	}
+	r := Rect{Lo: pts[0], Hi: pts[0]}
+	for _, p := range pts[1:] {
+		r = r.Extend(p)
+	}
+	return r
+}
+
+// Extend grows r to include p.
+func (r Rect) Extend(p Point) Rect {
+	return Rect{
+		Lo: Point{Min(r.Lo.X, p.X), Min(r.Lo.Y, p.Y)},
+		Hi: Point{Max(r.Hi.X, p.X), Max(r.Hi.Y, p.Y)},
+	}
+}
+
+// Union returns the smallest Rect covering both rectangles.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Lo: Point{Min(r.Lo.X, o.Lo.X), Min(r.Lo.Y, o.Lo.Y)},
+		Hi: Point{Max(r.Hi.X, o.Hi.X), Max(r.Hi.Y, o.Hi.Y)},
+	}
+}
+
+// Inflate grows the rectangle by m G-cells on every side.
+func (r Rect) Inflate(m int) Rect {
+	return Rect{
+		Lo: Point{r.Lo.X - m, r.Lo.Y - m},
+		Hi: Point{r.Hi.X + m, r.Hi.Y + m},
+	}
+}
+
+// ClampTo intersects r with the grid [0,w-1] x [0,h-1].
+func (r Rect) ClampTo(w, h int) Rect {
+	return Rect{
+		Lo: Point{Clamp(r.Lo.X, 0, w-1), Clamp(r.Lo.Y, 0, h-1)},
+		Hi: Point{Clamp(r.Hi.X, 0, w-1), Clamp(r.Hi.Y, 0, h-1)},
+	}
+}
+
+// Width returns the number of G-cell columns spanned (the paper's M).
+func (r Rect) Width() int { return r.Hi.X - r.Lo.X + 1 }
+
+// Height returns the number of G-cell rows spanned (the paper's N).
+func (r Rect) Height() int { return r.Hi.Y - r.Lo.Y + 1 }
+
+// HPWL is the half-perimeter wirelength of the rectangle in G-cell units.
+func (r Rect) HPWL() int { return (r.Width() - 1) + (r.Height() - 1) }
+
+// Area is the number of G-cells covered.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (inclusive bounds).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// Overlaps reports whether two rectangles share at least one G-cell. Two
+// tasks whose bounding boxes overlap conflict in the task graph.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.Lo.X <= o.Hi.X && o.Lo.X <= r.Hi.X && r.Lo.Y <= o.Hi.Y && o.Lo.Y <= r.Hi.Y
+}
+
+// Interval is a closed integer interval [Lo, Hi], used for layer ranges in
+// via-stack costing.
+type Interval struct {
+	Lo, Hi int
+}
+
+// NewInterval builds the normalized interval spanning a and b.
+func NewInterval(a, b int) Interval {
+	return Interval{Min(a, b), Max(a, b)}
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v int) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Len returns the number of integers in the interval.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo + 1 }
+
+// Extend grows the interval to include v.
+func (iv Interval) Extend(v int) Interval {
+	return Interval{Min(iv.Lo, v), Max(iv.Hi, v)}
+}

@@ -1,0 +1,211 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattanDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want int
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 7},
+		{Point{3, 4}, Point{0, 0}, 7},
+		{Point{-2, 5}, Point{2, -5}, 14},
+	}
+	for _, c := range cases {
+		if got := ManhattanDist(c.a, c.b); got != c.want {
+			t.Errorf("ManhattanDist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestManhattanDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Point{int(ax), int(ay)}
+		b := Point{int(bx), int(by)}
+		return ManhattanDist(a, b) == ManhattanDist(b, a) && ManhattanDist(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Point{int(ax), int(ay)}
+		b := Point{int(bx), int(by)}
+		c := Point{int(cx), int(cy)}
+		return ManhattanDist(a, c) <= ManhattanDist(a, b)+ManhattanDist(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, 1}, Point{2, 7})
+	if r.Lo != (Point{2, 1}) || r.Hi != (Point{5, 7}) {
+		t.Fatalf("NewRect not normalized: %+v", r)
+	}
+}
+
+func TestRectMetrics(t *testing.T) {
+	r := NewRect(Point{2, 3}, Point{5, 7})
+	if r.Width() != 4 {
+		t.Errorf("Width = %d, want 4", r.Width())
+	}
+	if r.Height() != 5 {
+		t.Errorf("Height = %d, want 5", r.Height())
+	}
+	if r.HPWL() != 7 {
+		t.Errorf("HPWL = %d, want 7", r.HPWL())
+	}
+	if r.Area() != 20 {
+		t.Errorf("Area = %d, want 20", r.Area())
+	}
+}
+
+func TestDegenerateRect(t *testing.T) {
+	r := NewRect(Point{4, 4}, Point{4, 4})
+	if r.Width() != 1 || r.Height() != 1 || r.HPWL() != 0 || r.Area() != 1 {
+		t.Fatalf("degenerate rect metrics wrong: %+v", r)
+	}
+	if !r.Contains(Point{4, 4}) {
+		t.Fatal("degenerate rect should contain its point")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{{3, 9}, {1, 2}, {8, 5}}
+	r := BoundingBox(pts)
+	want := Rect{Point{1, 2}, Point{8, 9}}
+	if r != want {
+		t.Fatalf("BoundingBox = %+v, want %+v", r, want)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounding box misses %v", p)
+		}
+	}
+}
+
+func TestBoundingBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BoundingBox(nil) did not panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestBoundingBoxContainsAll(t *testing.T) {
+	f := func(raw []struct{ X, Y int8 }) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, q := range raw {
+			pts[i] = Point{int(q.X), int(q.Y)}
+		}
+		r := BoundingBox(pts)
+		for _, p := range pts {
+			if !r.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{4, 4})
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(Point{2, 2}, Point{6, 6}), true},
+		{NewRect(Point{4, 4}, Point{8, 8}), true},  // corner touch counts
+		{NewRect(Point{5, 0}, Point{9, 4}), false}, // adjacent, no shared cell
+		{NewRect(Point{0, 5}, Point{4, 9}), false},
+		{NewRect(Point{1, 1}, Point{2, 2}), true}, // containment
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%+v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %+v", c.b)
+		}
+	}
+}
+
+func TestInflateClampTo(t *testing.T) {
+	r := NewRect(Point{1, 1}, Point{3, 3}).Inflate(2)
+	if r.Lo != (Point{-1, -1}) || r.Hi != (Point{5, 5}) {
+		t.Fatalf("Inflate wrong: %+v", r)
+	}
+	c := r.ClampTo(5, 4)
+	if c.Lo != (Point{0, 0}) || c.Hi != (Point{4, 3}) {
+		t.Fatalf("ClampTo wrong: %+v", c)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	b := NewRect(Point{5, 1}, Point{6, 8})
+	u := a.Union(b)
+	want := Rect{Point{0, 0}, Point{6, 8}}
+	if u != want {
+		t.Fatalf("Union = %+v, want %+v", u, want)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := NewInterval(7, 3)
+	if iv.Lo != 3 || iv.Hi != 7 {
+		t.Fatalf("NewInterval not normalized: %+v", iv)
+	}
+	if !iv.Contains(3) || !iv.Contains(7) || !iv.Contains(5) {
+		t.Error("Contains wrong for in-range values")
+	}
+	if iv.Contains(2) || iv.Contains(8) {
+		t.Error("Contains wrong for out-of-range values")
+	}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d, want 5", iv.Len())
+	}
+	if got := iv.Extend(1); got.Lo != 1 || got.Hi != 7 {
+		t.Errorf("Extend(1) = %+v", got)
+	}
+	if got := iv.Extend(9); got.Lo != 3 || got.Hi != 9 {
+		t.Errorf("Extend(9) = %+v", got)
+	}
+}
+
+func TestMinMaxAbsClamp(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Error("Min wrong")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Max wrong")
+	}
+	if Abs(-4) != 4 || Abs(4) != 4 || Abs(0) != 0 {
+		t.Error("Abs wrong")
+	}
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func TestPoint3Projection(t *testing.T) {
+	p := Point3{3, 5, 2}
+	if p.P() != (Point{3, 5}) {
+		t.Fatalf("P() = %v", p.P())
+	}
+}

@@ -1,0 +1,199 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func simpleSpec() Spec {
+	return Spec{
+		Name:            "test",
+		SMCount:         2,
+		LanesPerSM:      10,
+		ClockHz:         1e9,
+		CyclesPerOp:     1,
+		SpanCycles:      1,
+		LaunchOverhead:  time.Microsecond,
+		ZeroCopy:        true,
+		ZeroCopyLatency: 100 * time.Nanosecond,
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if RTX3090().Validate() != nil {
+		t.Fatal("RTX3090 spec invalid")
+	}
+	bad := simpleSpec()
+	bad.SMCount = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero SMs accepted")
+	}
+	bad = simpleSpec()
+	bad.ClockHz = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero clock accepted")
+	}
+	bad = simpleSpec()
+	bad.ZeroCopy = false
+	bad.TransferBytesPerSec = 0
+	if bad.Validate() == nil {
+		t.Fatal("no bandwidth without zero-copy accepted")
+	}
+}
+
+func TestNewPanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on invalid spec")
+		}
+	}()
+	New(Spec{})
+}
+
+func TestBlockTimeLaneAndSpanBound(t *testing.T) {
+	d := New(simpleSpec())
+	// 100 ops over 10 lanes at 1 cycle/op, 1 GHz: 10 cycles = 10ns.
+	if got := d.blockTime(Block{Ops: 100, Span: 1}); got != 10*time.Nanosecond {
+		t.Fatalf("lane-bound block time = %v, want 10ns", got)
+	}
+	// Span 50 dominates 100/10: 50ns.
+	if got := d.blockTime(Block{Ops: 100, Span: 50}); got != 50*time.Nanosecond {
+		t.Fatalf("span-bound block time = %v, want 50ns", got)
+	}
+}
+
+func TestKernelWaveScheduling(t *testing.T) {
+	d := New(simpleSpec()) // 2 SMs
+	// Four equal blocks of 10ns on 2 SMs: two waves = 20ns compute.
+	blocks := []Block{{Ops: 100, Span: 1}, {Ops: 100, Span: 1}, {Ops: 100, Span: 1}, {Ops: 100, Span: 1}}
+	total := d.LaunchKernel(blocks, 0, 0)
+	want := time.Microsecond + 20*time.Nanosecond // launch + compute, no bytes
+	if total != want {
+		t.Fatalf("kernel time = %v, want %v", total, want)
+	}
+}
+
+func TestKernelSingleWave(t *testing.T) {
+	d := New(simpleSpec())
+	// Two blocks fit in one wave: compute = max = 30ns.
+	total := d.LaunchKernel([]Block{{Ops: 100, Span: 1}, {Ops: 300, Span: 1}}, 0, 0)
+	want := time.Microsecond + 30*time.Nanosecond
+	if total != want {
+		t.Fatalf("kernel time = %v, want %v", total, want)
+	}
+}
+
+func TestEmptyKernel(t *testing.T) {
+	d := New(simpleSpec())
+	if got := d.LaunchKernel(nil, 0, 0); got != time.Microsecond {
+		t.Fatalf("empty kernel time = %v, want launch overhead only", got)
+	}
+}
+
+func TestZeroCopyTransfer(t *testing.T) {
+	d := New(simpleSpec())
+	total := d.LaunchKernel([]Block{{Ops: 10, Span: 1}}, 1<<20, 1<<20)
+	// Zero-copy: flat 100ns regardless of 2 MiB moved.
+	want := time.Microsecond + 100*time.Nanosecond + time.Nanosecond
+	if total != want {
+		t.Fatalf("zero-copy kernel = %v, want %v", total, want)
+	}
+	if d.Stats().BytesMoved != 2<<20 {
+		t.Fatalf("bytes moved = %d", d.Stats().BytesMoved)
+	}
+}
+
+func TestPCIeTransferDominatesWithoutZeroCopy(t *testing.T) {
+	spec := simpleSpec()
+	spec.ZeroCopy = false
+	spec.TransferBytesPerSec = 1e9 // 1 GB/s
+	spec.TransferLatency = 5 * time.Microsecond
+	d := New(spec)
+	total := d.LaunchKernel([]Block{{Ops: 10, Span: 1}}, 1e6, 0)
+	// 1 MB at 1 GB/s = 1ms >> everything else.
+	if total < time.Millisecond {
+		t.Fatalf("transfer not charged: %v", total)
+	}
+	zc := New(simpleSpec())
+	zcTotal := zc.LaunchKernel([]Block{{Ops: 10, Span: 1}}, 1e6, 0)
+	if zcTotal >= total {
+		t.Fatal("zero-copy not faster than PCIe copy")
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	d := New(simpleSpec())
+	d.LaunchKernel([]Block{{Ops: 100, Span: 1}}, 10, 10)
+	d.LaunchKernel([]Block{{Ops: 200, Span: 1}, {Ops: 300, Span: 1}}, 0, 0)
+	s := d.Stats()
+	if s.Kernels != 2 || s.Blocks != 3 || s.Ops != 600 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if d.SimTime() != s.ComputeTime+s.LaunchTime+s.CopyTime {
+		t.Fatal("SimTime does not match component sum")
+	}
+	d.Reset()
+	if d.SimTime() != 0 || d.Stats().Kernels != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestMakespanNeverBelowBounds(t *testing.T) {
+	// Property: makespan >= max block time and >= total/SMs (lower bounds of
+	// any schedule), and <= total (sequential upper bound).
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := New(simpleSpec())
+		blocks := make([]Block, len(raw))
+		var totalOps int64
+		for i, r := range raw {
+			blocks[i] = Block{Ops: int64(r%1000) + 1, Span: 1}
+			totalOps += blocks[i].Ops
+		}
+		ms := d.makespan(blocks)
+		var maxB, sum time.Duration
+		for _, b := range blocks {
+			bt := d.blockTime(b)
+			sum += bt
+			if bt > maxB {
+				maxB = bt
+			}
+		}
+		lower := sum / time.Duration(d.Spec.SMCount)
+		return ms >= maxB && ms >= lower && ms <= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	m := CPUModel{NsPerOp: 2, Cores: 4}
+	if got := m.SequentialTime(1000); got != 2*time.Microsecond {
+		t.Fatalf("sequential time = %v", got)
+	}
+	x := XeonGold6226R()
+	if x.Cores != 16 || x.NsPerOp <= 0 {
+		t.Fatalf("Xeon model wrong: %+v", x)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() time.Duration {
+		d := New(RTX3090())
+		for i := 0; i < 10; i++ {
+			blocks := make([]Block, 100+i)
+			for j := range blocks {
+				blocks[j] = Block{Ops: int64(50 + j), Span: int64(5 + j%7)}
+			}
+			d.LaunchKernel(blocks, 1<<16, 1<<12)
+		}
+		return d.SimTime()
+	}
+	if mk() != mk() {
+		t.Fatal("device simulation not deterministic")
+	}
+}

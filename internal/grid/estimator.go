@@ -1,0 +1,86 @@
+package grid
+
+import "fastgr/internal/geom"
+
+// Estimator2D is a snapshot of the grid's congestion collapsed to 2-D: the
+// cheapest-layer cost of each horizontal and vertical G-cell step. Steiner
+// tree planning (edge shifting) uses it to steer topology away from hot
+// spots without paying for full 3-D queries.
+type Estimator2D struct {
+	W, H  int
+	hCost []float64 // (W-1)*H, index y*(W-1)+x: step (x,y)->(x+1,y)
+	vCost []float64 // W*(H-1), index x*(H-1)+y: step (x,y)->(x,y+1)
+}
+
+// Estimator2D builds a snapshot at the grid's current demand.
+func (g *Graph) Estimator2D() *Estimator2D {
+	e := &Estimator2D{
+		W:     g.W,
+		H:     g.H,
+		hCost: make([]float64, (g.W-1)*g.H),
+		vCost: make([]float64, g.W*(g.H-1)),
+	}
+	for i := range e.hCost {
+		e.hCost[i] = -1
+	}
+	for i := range e.vCost {
+		e.vCost[i] = -1
+	}
+	for l := 1; l <= g.L; l++ {
+		if g.Dir(l) == Horizontal {
+			for y := 0; y < g.H; y++ {
+				for x := 0; x < g.W-1; x++ {
+					c := g.WireCost(l, x, y)
+					i := y*(g.W-1) + x
+					if e.hCost[i] < 0 || c < e.hCost[i] {
+						e.hCost[i] = c
+					}
+				}
+			}
+		} else {
+			for x := 0; x < g.W; x++ {
+				for y := 0; y < g.H-1; y++ {
+					c := g.WireCost(l, x, y)
+					i := x*(g.H-1) + y
+					if e.vCost[i] < 0 || c < e.vCost[i] {
+						e.vCost[i] = c
+					}
+				}
+			}
+		}
+	}
+	return e
+}
+
+// HSeg is the estimated cost of a horizontal run at row y from x1 to x2.
+func (e *Estimator2D) HSeg(y, x1, x2 int) float64 {
+	lo, hi := geom.Min(x1, x2), geom.Max(x1, x2)
+	total := 0.0
+	for x := lo; x < hi; x++ {
+		total += e.hCost[y*(e.W-1)+x]
+	}
+	return total
+}
+
+// VSeg is the estimated cost of a vertical run at column x from y1 to y2.
+func (e *Estimator2D) VSeg(x, y1, y2 int) float64 {
+	lo, hi := geom.Min(y1, y2), geom.Max(y1, y2)
+	total := 0.0
+	for y := lo; y < hi; y++ {
+		total += e.vCost[x*(e.H-1)+y]
+	}
+	return total
+}
+
+// LPathCost is the estimated cost of connecting a and b with the cheaper of
+// the two L-shaped paths.
+func (e *Estimator2D) LPathCost(a, b geom.Point) float64 {
+	// Bend at (b.X, a.Y): horizontal first.
+	c1 := e.HSeg(a.Y, a.X, b.X) + e.VSeg(b.X, a.Y, b.Y)
+	// Bend at (a.X, b.Y): vertical first.
+	c2 := e.VSeg(a.X, a.Y, b.Y) + e.HSeg(b.Y, a.X, b.X)
+	if c1 < c2 {
+		return c1
+	}
+	return c2
+}

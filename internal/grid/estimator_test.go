@@ -1,0 +1,91 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+)
+
+func estDesign() *design.Design {
+	return &design.Design{
+		Name: "e", GridW: 16, GridH: 12, NumLayers: 4,
+		LayerCapacity: []int{1, 10, 10, 10}, ViaCapacity: 8,
+		Nets: []*design.Net{{ID: 0, Name: "n", Pins: []design.Pin{
+			{Pos: geom.Point{X: 0, Y: 0}, Layer: 1},
+			{Pos: geom.Point{X: 1, Y: 1}, Layer: 1},
+		}}},
+	}
+}
+
+func TestEstimatorPicksCheapestLayer(t *testing.T) {
+	g := NewFromDesign(estDesign())
+	// Congest layer 3 (horizontal); layer 1 has capacity 1 so is expensive
+	// already. The estimator's horizontal cost must be min over layers.
+	g.AddSegDemand(3, geom.Point{X: 4, Y: 4}, geom.Point{X: 5, Y: 4}, 20)
+	e := g.Estimator2D()
+	want := math.Min(g.WireCost(1, 4, 4), g.WireCost(3, 4, 4))
+	if got := e.HSeg(4, 4, 5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("HSeg = %v, want cheapest-layer %v", got, want)
+	}
+	wantV := math.Min(g.WireCost(2, 4, 4), g.WireCost(4, 4, 4))
+	if got := e.VSeg(4, 4, 5); math.Abs(got-wantV) > 1e-9 {
+		t.Fatalf("VSeg = %v, want %v", got, wantV)
+	}
+}
+
+func TestEstimatorSegAdditive(t *testing.T) {
+	g := NewFromDesign(estDesign())
+	e := g.Estimator2D()
+	whole := e.HSeg(3, 2, 10)
+	parts := e.HSeg(3, 2, 6) + e.HSeg(3, 6, 10)
+	if math.Abs(whole-parts) > 1e-9 {
+		t.Fatalf("HSeg not additive: %v vs %v", whole, parts)
+	}
+	if e.HSeg(3, 5, 5) != 0 || e.VSeg(5, 3, 3) != 0 {
+		t.Fatal("zero-length segments should cost 0")
+	}
+	// Order of endpoints must not matter.
+	if e.VSeg(5, 2, 9) != e.VSeg(5, 9, 2) {
+		t.Fatal("VSeg not symmetric in endpoints")
+	}
+}
+
+func TestEstimatorLPathCost(t *testing.T) {
+	g := NewFromDesign(estDesign())
+	// Congest the row of the horizontal-first bend so the vertical-first L
+	// becomes cheaper.
+	for x := 2; x < 10; x++ {
+		g.AddSegDemand(1, geom.Point{X: x, Y: 2}, geom.Point{X: x + 1, Y: 2}, 5)
+		g.AddSegDemand(3, geom.Point{X: x, Y: 2}, geom.Point{X: x + 1, Y: 2}, 25)
+	}
+	e := g.Estimator2D()
+	a, b := geom.Point{X: 2, Y: 2}, geom.Point{X: 10, Y: 8}
+	got := e.LPathCost(a, b)
+	hFirst := e.HSeg(a.Y, a.X, b.X) + e.VSeg(b.X, a.Y, b.Y)
+	vFirst := e.VSeg(a.X, a.Y, b.Y) + e.HSeg(b.Y, a.X, b.X)
+	if math.Abs(got-math.Min(hFirst, vFirst)) > 1e-9 {
+		t.Fatalf("LPathCost = %v, want min(%v, %v)", got, hFirst, vFirst)
+	}
+	if vFirst >= hFirst {
+		t.Fatal("test setup wrong: vertical-first should be cheaper")
+	}
+	// Degenerate (collinear) endpoints.
+	if e.LPathCost(a, geom.Point{X: a.X, Y: 9}) != e.VSeg(a.X, a.Y, 9) {
+		t.Fatal("collinear LPathCost wrong")
+	}
+}
+
+func TestEstimatorIsSnapshot(t *testing.T) {
+	g := NewFromDesign(estDesign())
+	e := g.Estimator2D()
+	before := e.HSeg(5, 2, 8)
+	g.AddSegDemand(3, geom.Point{X: 2, Y: 5}, geom.Point{X: 8, Y: 5}, 30)
+	if e.HSeg(5, 2, 8) != before {
+		t.Fatal("estimator changed after demand update; it must be a snapshot")
+	}
+	if g.Estimator2D().HSeg(5, 2, 8) <= before {
+		t.Fatal("fresh estimator should see the new congestion")
+	}
+}

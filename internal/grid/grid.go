@@ -1,0 +1,385 @@
+// Package grid implements the 3-D global-routing grid graph G(V,E) of
+// Section II-A: one vertex per G-cell per metal layer, wire edges between
+// adjacent G-cells along each layer's preferred direction, and via edges
+// between vertically adjacent layers. Wire and via edges carry capacity and
+// demand; edge costs follow CUGR's scheme — a wirelength unit plus a
+// logistic congestion penalty — which is the cost model the paper's pattern
+// and maze routers both optimize.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+)
+
+// Dir is a layer's preferred routing direction.
+type Dir int
+
+const (
+	Horizontal Dir = iota // wires run along X
+	Vertical              // wires run along Y
+)
+
+func (d Dir) String() string {
+	if d == Horizontal {
+		return "H"
+	}
+	return "V"
+}
+
+// CostParams configures the edge cost scheme.
+type CostParams struct {
+	// UnitWire is the base cost of one wire edge (one G-cell step).
+	UnitWire float64
+	// UnitVia is the base cost of one via edge (one layer crossing).
+	UnitVia float64
+	// CongestionWeight scales the logistic congestion penalty added to a
+	// wire or via edge as its utilization approaches and passes 1.
+	CongestionWeight float64
+	// LogisticK is the steepness of the logistic around utilization 1.
+	LogisticK float64
+	// BlockedPenalty is added to edges with zero capacity, making them
+	// near-forbidden without disconnecting the graph.
+	BlockedPenalty float64
+}
+
+// DefaultCostParams mirrors the relative weighting CUGR uses: vias cost a
+// few wire units, and congestion dominates once an edge overflows.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		UnitWire:         1.0,
+		UnitVia:          2.0,
+		CongestionWeight: 48.0,
+		LogisticK:        10.0,
+		BlockedPenalty:   64.0,
+	}
+}
+
+// Graph is the 3-D routing grid. Layers are 1-based (1..L) to match the
+// paper's notation. Odd layers route horizontally, even layers vertically;
+// layer 1 is the pin layer with near-zero capacity.
+type Graph struct {
+	W, H, L int
+	Params  CostParams
+
+	dirs []Dir // dirs[l-1]
+
+	// wireCap/wireDem[l-1] index wire edges of layer l. A horizontal layer
+	// has (W-1)*H edges, edge (x,y) spanning (x,y)-(x+1,y), index y*(W-1)+x.
+	// A vertical layer has W*(H-1) edges, edge (x,y) spanning (x,y)-(x,y+1),
+	// index x*(H-1)+y.
+	wireCap [][]int32
+	wireDem [][]int32
+
+	// viaCap/viaDem[b] index via edges crossing the boundary between layers
+	// b+1 and b+2 (b in 0..L-2) at G-cell (x,y), index y*W+x.
+	viaCap []int32
+	viaDem [][]int32
+
+	// history holds negotiated-congestion penalties (see history.go); nil
+	// until EnableHistory.
+	history [][]float32
+}
+
+// NewFromDesign builds the grid graph for a design, applying per-layer
+// capacities and blockages, using the default cost parameters.
+func NewFromDesign(d *design.Design) *Graph {
+	return NewFromDesignParams(d, DefaultCostParams())
+}
+
+// NewFromDesignParams builds the grid graph with explicit cost parameters.
+func NewFromDesignParams(d *design.Design, p CostParams) *Graph {
+	g := &Graph{W: d.GridW, H: d.GridH, L: d.NumLayers, Params: p}
+	g.dirs = make([]Dir, g.L)
+	for l := 1; l <= g.L; l++ {
+		if l%2 == 1 {
+			g.dirs[l-1] = Horizontal
+		} else {
+			g.dirs[l-1] = Vertical
+		}
+	}
+	g.wireCap = make([][]int32, g.L)
+	g.wireDem = make([][]int32, g.L)
+	for l := 1; l <= g.L; l++ {
+		n := g.numWireEdges(l)
+		g.wireCap[l-1] = make([]int32, n)
+		g.wireDem[l-1] = make([]int32, n)
+		cap := int32(d.LayerCapacity[l-1])
+		for i := range g.wireCap[l-1] {
+			g.wireCap[l-1][i] = cap
+		}
+	}
+	g.viaCap = make([]int32, g.L-1)
+	g.viaDem = make([][]int32, g.L-1)
+	for b := 0; b < g.L-1; b++ {
+		g.viaCap[b] = int32(d.ViaCapacity)
+		g.viaDem[b] = make([]int32, g.W*g.H)
+	}
+	for _, blk := range d.Blockages {
+		g.applyBlockage(blk)
+	}
+	return g
+}
+
+func (g *Graph) applyBlockage(b design.Blockage) {
+	l := b.Layer
+	keep := 1 - b.Density
+	r := b.Region.ClampTo(g.W, g.H)
+	if g.Dir(l) == Horizontal {
+		for y := r.Lo.Y; y <= r.Hi.Y; y++ {
+			for x := r.Lo.X; x <= r.Hi.X && x < g.W-1; x++ {
+				i := g.wireIndex(l, x, y)
+				g.wireCap[l-1][i] = int32(math.Floor(float64(g.wireCap[l-1][i]) * keep))
+			}
+		}
+	} else {
+		for x := r.Lo.X; x <= r.Hi.X; x++ {
+			for y := r.Lo.Y; y <= r.Hi.Y && y < g.H-1; y++ {
+				i := g.wireIndex(l, x, y)
+				g.wireCap[l-1][i] = int32(math.Floor(float64(g.wireCap[l-1][i]) * keep))
+			}
+		}
+	}
+}
+
+// Dir returns the preferred direction of layer l.
+func (g *Graph) Dir(l int) Dir { return g.dirs[l-1] }
+
+func (g *Graph) numWireEdges(l int) int {
+	if g.Dir(l) == Horizontal {
+		return (g.W - 1) * g.H
+	}
+	return g.W * (g.H - 1)
+}
+
+// wireIndex maps the wire edge on layer l starting at (x,y) and running one
+// step in the layer's preferred direction to its slot in the edge arrays.
+func (g *Graph) wireIndex(l, x, y int) int {
+	if g.Dir(l) == Horizontal {
+		return y*(g.W-1) + x
+	}
+	return x*(g.H-1) + y
+}
+
+// WireCap returns the capacity of the wire edge at (x,y) on layer l.
+func (g *Graph) WireCap(l, x, y int) int { return int(g.wireCap[l-1][g.wireIndex(l, x, y)]) }
+
+// WireDem returns the demand of the wire edge at (x,y) on layer l.
+func (g *Graph) WireDem(l, x, y int) int { return int(g.wireDem[l-1][g.wireIndex(l, x, y)]) }
+
+// ViaCap returns the via capacity across the boundary above layer l.
+func (g *Graph) ViaCap(l int) int { return int(g.viaCap[l-1]) }
+
+// ViaDem returns the via demand at (x,y) across the boundary above layer l.
+func (g *Graph) ViaDem(x, y, l int) int { return int(g.viaDem[l-1][y*g.W+x]) }
+
+// logistic is the congestion penalty shape: ~0 when utilization is low,
+// CongestionWeight/2 at utilization 1, saturating at CongestionWeight.
+func (g *Graph) logistic(dem, cap int32) float64 {
+	var u float64
+	if cap <= 0 {
+		u = float64(dem) + 1.5 // treat as heavily over-utilized
+	} else {
+		u = (float64(dem) + 0.5) / float64(cap)
+	}
+	return g.Params.CongestionWeight / (1 + math.Exp(-g.Params.LogisticK*(u-1)))
+}
+
+// WireCost is the cost c_w of using one wire edge at (x,y) on layer l,
+// evaluated at the edge's current demand (i.e., the cost of adding one more
+// track through it).
+func (g *Graph) WireCost(l, x, y int) float64 {
+	i := g.wireIndex(l, x, y)
+	cap, dem := g.wireCap[l-1][i], g.wireDem[l-1][i]
+	c := g.Params.UnitWire + g.logistic(dem, cap)
+	if cap <= 0 {
+		c += g.Params.BlockedPenalty
+	}
+	if g.history != nil {
+		c += HistoryWeight * float64(g.history[l-1][i])
+	}
+	return c
+}
+
+// SegCost is the cost of a straight wire from a to b on layer l. The segment
+// must run along the layer's preferred direction; a == b costs zero.
+func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
+	if a == b {
+		return 0
+	}
+	total := 0.0
+	if g.Dir(l) == Horizontal {
+		if a.Y != b.Y {
+			panic(fmt.Sprintf("grid: horizontal segment %v-%v on layer %d misaligned", a, b, l))
+		}
+		lo, hi := geom.Min(a.X, b.X), geom.Max(a.X, b.X)
+		for x := lo; x < hi; x++ {
+			total += g.WireCost(l, x, a.Y)
+		}
+	} else {
+		if a.X != b.X {
+			panic(fmt.Sprintf("grid: vertical segment %v-%v on layer %d misaligned", a, b, l))
+		}
+		lo, hi := geom.Min(a.Y, b.Y), geom.Max(a.Y, b.Y)
+		for y := lo; y < hi; y++ {
+			total += g.WireCost(l, a.X, y)
+		}
+	}
+	return total
+}
+
+// ViaEdgeCost is the cost of one via edge at (x,y) crossing the boundary
+// above layer l.
+func (g *Graph) ViaEdgeCost(x, y, l int) float64 {
+	i := y*g.W + x
+	cap, dem := g.viaCap[l-1], g.viaDem[l-1][i]
+	return g.Params.UnitVia + g.logistic(dem, cap)
+}
+
+// ViaStackCost is c_v(u, l1, l2): the cost of the via stack at (x,y)
+// connecting layers l1 and l2 (either order); zero when l1 == l2.
+func (g *Graph) ViaStackCost(x, y, l1, l2 int) float64 {
+	lo, hi := geom.Min(l1, l2), geom.Max(l1, l2)
+	total := 0.0
+	for l := lo; l < hi; l++ {
+		total += g.ViaEdgeCost(x, y, l)
+	}
+	return total
+}
+
+// AddSegDemand adds delta tracks of demand to every wire edge of the
+// straight segment a-b on layer l. delta may be negative (rip-up); demand
+// never goes below zero — underflow indicates a commit/rip-up mismatch and
+// panics.
+func (g *Graph) AddSegDemand(l int, a, b geom.Point, delta int) {
+	if a == b {
+		return
+	}
+	d := int32(delta)
+	if g.Dir(l) == Horizontal {
+		if a.Y != b.Y {
+			panic(fmt.Sprintf("grid: horizontal segment %v-%v on layer %d misaligned", a, b, l))
+		}
+		lo, hi := geom.Min(a.X, b.X), geom.Max(a.X, b.X)
+		for x := lo; x < hi; x++ {
+			g.addWireDemand(l, x, a.Y, d)
+		}
+	} else {
+		if a.X != b.X {
+			panic(fmt.Sprintf("grid: vertical segment %v-%v on layer %d misaligned", a, b, l))
+		}
+		lo, hi := geom.Min(a.Y, b.Y), geom.Max(a.Y, b.Y)
+		for y := lo; y < hi; y++ {
+			g.addWireDemand(l, a.X, y, d)
+		}
+	}
+}
+
+func (g *Graph) addWireDemand(l, x, y int, delta int32) {
+	i := g.wireIndex(l, x, y)
+	g.wireDem[l-1][i] += delta
+	if g.wireDem[l-1][i] < 0 {
+		panic(fmt.Sprintf("grid: wire demand underflow at layer %d (%d,%d)", l, x, y))
+	}
+}
+
+// AddViaStackDemand adds delta to every via edge of the stack at (x,y)
+// between layers l1 and l2.
+func (g *Graph) AddViaStackDemand(x, y, l1, l2, delta int) {
+	lo, hi := geom.Min(l1, l2), geom.Max(l1, l2)
+	for l := lo; l < hi; l++ {
+		i := y*g.W + x
+		g.viaDem[l-1][i] += int32(delta)
+		if g.viaDem[l-1][i] < 0 {
+			panic(fmt.Sprintf("grid: via demand underflow at (%d,%d) layer %d", x, y, l))
+		}
+	}
+}
+
+// Overflow sums max(0, demand-capacity) over wire and via edges — the
+// global-routing proxy for the number of shorts (metric S in eq. 15).
+func (g *Graph) Overflow() (wire, via int) {
+	for l := 0; l < g.L; l++ {
+		for i, c := range g.wireCap[l] {
+			if ov := g.wireDem[l][i] - c; ov > 0 {
+				wire += int(ov)
+			}
+		}
+	}
+	for b := 0; b < g.L-1; b++ {
+		for _, d := range g.viaDem[b] {
+			if ov := d - g.viaCap[b]; ov > 0 {
+				via += int(ov)
+			}
+		}
+	}
+	return wire, via
+}
+
+// TotalDemand sums wire demand (G-cell wirelength units) and via demand
+// (via counts) over the whole grid.
+func (g *Graph) TotalDemand() (wire, via int) {
+	for l := 0; l < g.L; l++ {
+		for _, d := range g.wireDem[l] {
+			wire += int(d)
+		}
+	}
+	for b := 0; b < g.L-1; b++ {
+		for _, d := range g.viaDem[b] {
+			via += int(d)
+		}
+	}
+	return wire, via
+}
+
+// CongestionCell summarizes one G-cell column for congestion-map dumps.
+type CongestionCell struct {
+	Demand   int
+	Capacity int
+}
+
+// CongestionMap2D collapses wire demand/capacity over all layers onto the
+// 2-D grid, row-major, for reporting and the congestion example.
+func (g *Graph) CongestionMap2D() []CongestionCell {
+	m := make([]CongestionCell, g.W*g.H)
+	for l := 1; l <= g.L; l++ {
+		if g.Dir(l) == Horizontal {
+			for y := 0; y < g.H; y++ {
+				for x := 0; x < g.W-1; x++ {
+					i := g.wireIndex(l, x, y)
+					m[y*g.W+x].Demand += int(g.wireDem[l-1][i])
+					m[y*g.W+x].Capacity += int(g.wireCap[l-1][i])
+				}
+			}
+		} else {
+			for x := 0; x < g.W; x++ {
+				for y := 0; y < g.H-1; y++ {
+					i := g.wireIndex(l, x, y)
+					m[y*g.W+x].Demand += int(g.wireDem[l-1][i])
+					m[y*g.W+x].Capacity += int(g.wireCap[l-1][i])
+				}
+			}
+		}
+	}
+	return m
+}
+
+// InBounds reports whether (x,y) is a valid G-cell.
+func (g *Graph) InBounds(x, y int) bool {
+	return x >= 0 && x < g.W && y >= 0 && y < g.H
+}
+
+// HasWireEdge reports whether a wire edge exists at (x,y) on layer l (i.e.,
+// the step in the preferred direction stays on the grid).
+func (g *Graph) HasWireEdge(l, x, y int) bool {
+	if !g.InBounds(x, y) {
+		return false
+	}
+	if g.Dir(l) == Horizontal {
+		return x < g.W-1
+	}
+	return y < g.H-1
+}

@@ -1,0 +1,63 @@
+package grid
+
+import (
+	"testing"
+
+	"fastgr/internal/geom"
+)
+
+func TestHistoryDisabledByDefault(t *testing.T) {
+	g := NewFromDesign(testDesign(5))
+	if g.HistoryEnabled() {
+		t.Fatal("history enabled without EnableHistory")
+	}
+	before := g.WireCost(3, 4, 4)
+	g.BumpOverflowHistory(1) // no-op without enabling
+	if g.WireCost(3, 4, 4) != before {
+		t.Fatal("disabled history changed costs")
+	}
+	if g.WireHistory(3, 4, 4) != 0 {
+		t.Fatal("disabled history nonzero")
+	}
+}
+
+func TestHistoryAccumulatesOnOverflow(t *testing.T) {
+	g := NewFromDesign(testDesign(5))
+	g.EnableHistory()
+	g.EnableHistory() // idempotent
+	// Overflow one edge by 3 (cap 10).
+	g.AddSegDemand(3, geom.Point{X: 4, Y: 4}, geom.Point{X: 5, Y: 4}, 13)
+	before := g.WireCost(3, 4, 4)
+	g.BumpOverflowHistory(0.5)
+	if got := g.WireHistory(3, 4, 4); got != 1.5 {
+		t.Fatalf("history = %v, want 1.5 (0.5 x overflow 3)", got)
+	}
+	after := g.WireCost(3, 4, 4)
+	if after <= before {
+		t.Fatal("history did not raise the edge cost")
+	}
+	// Non-overflowed edges stay clean.
+	if g.WireHistory(3, 8, 8) != 0 {
+		t.Fatal("history leaked to clean edges")
+	}
+	// History persists after the congestion is ripped away — that is the
+	// whole point of negotiation.
+	g.AddSegDemand(3, geom.Point{X: 4, Y: 4}, geom.Point{X: 5, Y: 4}, -13)
+	if g.WireHistory(3, 4, 4) != 1.5 {
+		t.Fatal("history vanished with demand")
+	}
+	if g.WireCost(3, 4, 4) <= g.WireCost(3, 8, 8) {
+		t.Fatal("historically contested edge not more expensive than a fresh one")
+	}
+}
+
+func TestHistoryBumpAccumulates(t *testing.T) {
+	g := NewFromDesign(testDesign(5))
+	g.EnableHistory()
+	g.AddSegDemand(3, geom.Point{X: 2, Y: 2}, geom.Point{X: 3, Y: 2}, 12)
+	g.BumpOverflowHistory(1)
+	g.BumpOverflowHistory(1)
+	if got := g.WireHistory(3, 2, 2); got != 4 {
+		t.Fatalf("history = %v, want 4 after two bumps of overflow 2", got)
+	}
+}

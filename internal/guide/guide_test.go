@@ -1,0 +1,142 @@
+package guide
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastgr/internal/core"
+	"fastgr/internal/design"
+)
+
+func routedResult(t *testing.T) *core.Result {
+	t.Helper()
+	d := design.MustGenerate("18test5m", 0.003)
+	opt := core.DefaultOptions(core.FastGRH)
+	opt.T1, opt.T2 = 5, 27
+	res, err := core.Route(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGuidesCoverEveryRoute(t *testing.T) {
+	res := routedResult(t)
+	guides := FromResult(res)
+	if len(guides) != len(res.Design.Nets) {
+		t.Fatalf("%d guides for %d nets", len(guides), len(res.Design.Nets))
+	}
+	if err := Covers(res, guides); err != nil {
+		t.Fatalf("guide contract broken: %v", err)
+	}
+	for _, g := range guides {
+		if len(g.Boxes) == 0 {
+			t.Fatalf("net %s has an empty guide", g.Net)
+		}
+		if g.Area() == 0 {
+			t.Fatalf("net %s guide area is zero", g.Net)
+		}
+	}
+}
+
+func TestCoversDetectsViolation(t *testing.T) {
+	res := routedResult(t)
+	guides := FromResult(res)
+	// Remove one net's guide entirely.
+	broken := append([]Guide(nil), guides[1:]...)
+	if err := Covers(res, broken); err == nil {
+		t.Fatal("missing guide accepted")
+	}
+	// Shrink a guide so it no longer covers its net.
+	mangled := make([]Guide, len(guides))
+	copy(mangled, guides)
+	victim := -1
+	for i, g := range guides {
+		if len(g.Boxes) > 1 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no multi-box guide to mangle")
+	}
+	mangled[victim] = Guide{Net: guides[victim].Net, Boxes: guides[victim].Boxes[:1]}
+	if err := Covers(res, mangled); err == nil {
+		t.Fatal("shrunken guide accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	res := routedResult(t)
+	guides := FromResult(res)
+	var buf bytes.Buffer
+	if err := Write(&buf, guides); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(guides) {
+		t.Fatalf("round trip: %d vs %d guides", len(got), len(guides))
+	}
+	for i := range guides {
+		if got[i].Net != guides[i].Net || len(got[i].Boxes) != len(guides[i].Boxes) {
+			t.Fatalf("guide %d differs after round trip", i)
+		}
+		for j := range guides[i].Boxes {
+			if got[i].Boxes[j] != guides[i].Boxes[j] {
+				t.Fatalf("guide %d box %d differs", i, j)
+			}
+		}
+	}
+	// Round-tripped guides still satisfy the contract.
+	if err := Covers(res, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"(\n)",               // body without net
+		"netA\n(\n",          // unterminated
+		"netA\nnetB\n(\n)\n", // net name while another is pending
+		"netA\n(\nbogus line\n)\n",
+		"netA\n(\n)\n)\n", // stray close
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	// Empty input is a valid empty guide set.
+	if g, err := Read(strings.NewReader("")); err != nil || len(g) != 0 {
+		t.Fatal("empty input should parse to zero guides")
+	}
+}
+
+func TestMergeCompactsBoxes(t *testing.T) {
+	res := routedResult(t)
+	guides := FromResult(res)
+	// Merged boxes must be far fewer than raw cell counts for typical nets.
+	for _, g := range guides[:20] {
+		if len(g.Boxes) > g.Area() {
+			t.Fatalf("net %s: %d boxes exceed area %d", g.Net, len(g.Boxes), g.Area())
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	res := routedResult(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, FromResult(res)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, FromResult(res)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("guide generation nondeterministic")
+	}
+}

@@ -1,0 +1,285 @@
+// Package maze implements the 3-D maze routing used in the rip-up-and-
+// reroute iterations (Section III-G): a multi-source multi-target Dijkstra
+// on the grid graph, restricted to a search window around the net, that
+// reconnects a net pin by pin into a routed tree. Unlike pattern routing it
+// explores every path inside the window, which is what lets rerouting
+// resolve the violations pattern routing leaves behind.
+package maze
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"fastgr/internal/geom"
+	"fastgr/internal/grid"
+	"fastgr/internal/route"
+)
+
+// Stats reports the work done by one maze invocation, the currency of the
+// rip-up-and-reroute timing model.
+type Stats struct {
+	Expansions int64 // settled node count
+	Pushes     int64 // heap pushes
+}
+
+// RouteNet maze-routes a whole net inside the window: starting from the
+// first pin, it repeatedly runs Dijkstra from the already-connected
+// geometry (all its 3-D nodes are sources) to the nearest unconnected pin,
+// until every pin is connected. The grid is read-only; the caller commits
+// the returned route.
+func RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window geom.Rect) (*route.NetRoute, Stats, error) {
+	if len(pins) == 0 {
+		return nil, Stats{}, fmt.Errorf("maze: net %d has no pins", netID)
+	}
+	window = window.ClampTo(g.W, g.H)
+	for _, p := range pins {
+		if !window.Contains(p.P()) {
+			return nil, Stats{}, fmt.Errorf("maze: pin %v outside window %v", p, window)
+		}
+	}
+
+	s := newSearch(g, window)
+	r := &route.NetRoute{NetID: netID}
+	var stats Stats
+
+	// connected is an ordered source list (plus a membership set): map
+	// iteration order would make equal-cost tie-breaking — and therefore the
+	// chosen geometry and expansion counts — nondeterministic.
+	connected := []geom.Point3{pins[0]}
+	inConnected := map[geom.Point3]bool{pins[0]: true}
+	remaining := make(map[geom.Point3]bool)
+	for _, p := range pins[1:] {
+		if p != pins[0] {
+			remaining[p] = true
+		}
+	}
+	for len(remaining) > 0 {
+		path, reached, st, err := s.dijkstra(connected, remaining)
+		stats.Expansions += st.Expansions
+		stats.Pushes += st.Pushes
+		if err != nil {
+			return nil, stats, fmt.Errorf("maze: net %d: %w", netID, err)
+		}
+		delete(remaining, reached)
+		// Every node of the new path joins the source set.
+		for _, p3 := range pathNodes(g, path) {
+			if !inConnected[p3] {
+				inConnected[p3] = true
+				connected = append(connected, p3)
+			}
+		}
+		if !inConnected[reached] {
+			inConnected[reached] = true
+			connected = append(connected, reached)
+		}
+		r.Paths = append(r.Paths, path)
+	}
+	return r, stats, nil
+}
+
+// pathNodes enumerates all 3-D grid nodes a path touches.
+func pathNodes(g *grid.Graph, p route.Path) []geom.Point3 {
+	var nodes []geom.Point3
+	for _, s := range p.Segs {
+		if g.Dir(s.Layer) == grid.Horizontal {
+			lo, hi := geom.Min(s.A.X, s.B.X), geom.Max(s.A.X, s.B.X)
+			for x := lo; x <= hi; x++ {
+				nodes = append(nodes, geom.Point3{X: x, Y: s.A.Y, Layer: s.Layer})
+			}
+		} else {
+			lo, hi := geom.Min(s.A.Y, s.B.Y), geom.Max(s.A.Y, s.B.Y)
+			for y := lo; y <= hi; y++ {
+				nodes = append(nodes, geom.Point3{X: s.A.X, Y: y, Layer: s.Layer})
+			}
+		}
+	}
+	for _, v := range p.Vias {
+		for l := v.L1; l <= v.L2; l++ {
+			nodes = append(nodes, geom.Point3{X: v.X, Y: v.Y, Layer: l})
+		}
+	}
+	return nodes
+}
+
+// search holds the windowed Dijkstra state, reused across connections of one
+// net to avoid reallocating the distance arrays.
+type search struct {
+	g       *grid.Graph
+	win     geom.Rect
+	ww, wh  int
+	dist    []float64
+	parent  []int32 // packed predecessor node index, -1 none
+	visited []bool
+	stamp   []uint32
+	epoch   uint32
+}
+
+func newSearch(g *grid.Graph, win geom.Rect) *search {
+	ww, wh := win.Width(), win.Height()
+	n := ww * wh * g.L
+	return &search{
+		g: g, win: win, ww: ww, wh: wh,
+		dist:    make([]float64, n),
+		parent:  make([]int32, n),
+		visited: make([]bool, n),
+		stamp:   make([]uint32, n),
+	}
+}
+
+func (s *search) index(p geom.Point3) int32 {
+	return int32(((p.Layer-1)*s.wh+(p.Y-s.win.Lo.Y))*s.ww + (p.X - s.win.Lo.X))
+}
+
+func (s *search) point(i int32) geom.Point3 {
+	x := int(i) % s.ww
+	rest := int(i) / s.ww
+	y := rest % s.wh
+	l := rest/s.wh + 1
+	return geom.Point3{X: x + s.win.Lo.X, Y: y + s.win.Lo.Y, Layer: l}
+}
+
+// fresh lazily resets per-search state via epoch stamping.
+func (s *search) fresh(i int32) {
+	if s.stamp[i] != s.epoch {
+		s.stamp[i] = s.epoch
+		s.dist[i] = math.Inf(1)
+		s.parent[i] = -1
+		s.visited[i] = false
+	}
+}
+
+type pqItem struct {
+	node int32
+	d    float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// dijkstra runs one multi-source multi-target search and returns the
+// cheapest path to whichever target settles first.
+func (s *search) dijkstra(sources []geom.Point3, targets map[geom.Point3]bool) (route.Path, geom.Point3, Stats, error) {
+	s.epoch++
+	var st Stats
+	q := make(pq, 0, 256)
+	for _, src := range sources {
+		if !s.win.Contains(src.P()) {
+			continue
+		}
+		i := s.index(src)
+		s.fresh(i)
+		if s.dist[i] > 0 {
+			s.dist[i] = 0
+			heap.Push(&q, pqItem{i, 0})
+			st.Pushes++
+		}
+	}
+	if len(q) == 0 {
+		return route.Path{}, geom.Point3{}, st, fmt.Errorf("no sources inside window")
+	}
+	heap.Init(&q)
+
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		i := it.node
+		s.fresh(i)
+		if s.visited[i] || it.d > s.dist[i] {
+			continue
+		}
+		s.visited[i] = true
+		st.Expansions++
+		p := s.point(i)
+		if targets[p] {
+			return s.reconstruct(i), p, st, nil
+		}
+		s.relaxNeighbors(p, i, &q, &st)
+	}
+	return route.Path{}, geom.Point3{}, st, fmt.Errorf("targets unreachable within window")
+}
+
+func (s *search) relaxNeighbors(p geom.Point3, i int32, q *pq, st *Stats) {
+	g := s.g
+	d := s.dist[i]
+	relax := func(np geom.Point3, cost float64) {
+		j := s.index(np)
+		s.fresh(j)
+		if nd := d + cost; nd < s.dist[j] {
+			s.dist[j] = nd
+			s.parent[j] = i
+			heap.Push(q, pqItem{j, nd})
+			st.Pushes++
+		}
+	}
+	// Wire moves along the layer's preferred direction.
+	if g.Dir(p.Layer) == grid.Horizontal {
+		if p.X+1 <= s.win.Hi.X {
+			relax(geom.Point3{X: p.X + 1, Y: p.Y, Layer: p.Layer}, g.WireCost(p.Layer, p.X, p.Y))
+		}
+		if p.X-1 >= s.win.Lo.X {
+			relax(geom.Point3{X: p.X - 1, Y: p.Y, Layer: p.Layer}, g.WireCost(p.Layer, p.X-1, p.Y))
+		}
+	} else {
+		if p.Y+1 <= s.win.Hi.Y {
+			relax(geom.Point3{X: p.X, Y: p.Y + 1, Layer: p.Layer}, g.WireCost(p.Layer, p.X, p.Y))
+		}
+		if p.Y-1 >= s.win.Lo.Y {
+			relax(geom.Point3{X: p.X, Y: p.Y - 1, Layer: p.Layer}, g.WireCost(p.Layer, p.X, p.Y-1))
+		}
+	}
+	// Via moves between adjacent layers.
+	if p.Layer+1 <= g.L {
+		relax(geom.Point3{X: p.X, Y: p.Y, Layer: p.Layer + 1}, g.ViaEdgeCost(p.X, p.Y, p.Layer))
+	}
+	if p.Layer-1 >= 1 {
+		relax(geom.Point3{X: p.X, Y: p.Y, Layer: p.Layer - 1}, g.ViaEdgeCost(p.X, p.Y, p.Layer-1))
+	}
+}
+
+// reconstruct walks parents back to a source, compressing runs of same-layer
+// steps into segments and layer changes into via stacks.
+func (s *search) reconstruct(end int32) route.Path {
+	var pts []geom.Point3
+	for i := end; i >= 0; i = s.parent[i] {
+		pts = append(pts, s.point(i))
+		if s.parent[i] < 0 {
+			break
+		}
+	}
+	// pts runs target -> source; orientation does not matter for geometry.
+	var path route.Path
+	if len(pts) < 2 {
+		return path
+	}
+	anchor := pts[0]
+	for k := 1; k < len(pts); k++ {
+		prev, cur := pts[k-1], pts[k]
+		if cur.Layer != prev.Layer {
+			// Flush wire run, then the via.
+			if anchor != prev {
+				path.AddSeg(prev.Layer, anchor.P(), prev.P())
+			}
+			path.AddVia(prev.X, prev.Y, prev.Layer, cur.Layer)
+			anchor = cur
+			continue
+		}
+		// Same layer: the run continues; direction cannot change mid-run on
+		// a preferred-direction grid (one wire axis per layer).
+	}
+	last := pts[len(pts)-1]
+	if anchor != last {
+		path.AddSeg(last.Layer, anchor.P(), last.P())
+	}
+	return path
+}

@@ -1,0 +1,43 @@
+// Package metrics computes the global-routing solution quality score of
+// eq. 15: s = αW + βV + γS with α=0.5 (wirelength), β=4 (vias), γ=500
+// (shorts), the weighting the paper uses to compare routers.
+package metrics
+
+// Weights of eq. 15.
+const (
+	Alpha = 0.5   // wirelength weight
+	Beta  = 4.0   // via-count weight
+	Gamma = 500.0 // shorts weight
+)
+
+// Quality is the solution quality of one routing run.
+type Quality struct {
+	Wirelength int // total distinct wire edges used (G-cell units)
+	Vias       int // total distinct via edges used
+	Shorts     int // total overflow (demand above capacity)
+}
+
+// Score evaluates eq. 15.
+func (q Quality) Score() float64 {
+	return Alpha*float64(q.Wirelength) + Beta*float64(q.Vias) + Gamma*float64(q.Shorts)
+}
+
+// Add accumulates another quality record (e.g., per-net contributions).
+func (q *Quality) Add(o Quality) {
+	q.Wirelength += o.Wirelength
+	q.Vias += o.Vias
+	q.Shorts += o.Shorts
+}
+
+// ImprovementPct returns how much better (positive) or worse (negative) q is
+// than base on a metric extractor, in percent of base — the form the paper
+// reports (e.g., 27.855% shorts improvement).
+func ImprovementPct(base, q float64) float64 {
+	if base == 0 {
+		if q == 0 {
+			return 0
+		}
+		return -100
+	}
+	return (base - q) / base * 100
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScoreWeights(t *testing.T) {
+	q := Quality{Wirelength: 100, Vias: 10, Shorts: 2}
+	want := 0.5*100 + 4*10 + 500*2
+	if got := q.Score(); got != want {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreShortsDominate(t *testing.T) {
+	// One short outweighs hundreds of wirelength units, as intended by the
+	// paper's weighting.
+	clean := Quality{Wirelength: 900, Vias: 10}
+	shorted := Quality{Wirelength: 100, Vias: 10, Shorts: 1}
+	if shorted.Score() <= clean.Score() {
+		t.Fatal("a short should cost more than 800 wirelength units")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Quality{1, 2, 3}
+	a.Add(Quality{10, 20, 30})
+	if a != (Quality{11, 22, 33}) {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestScoreAdditive(t *testing.T) {
+	f := func(w1, v1, s1, w2, v2, s2 uint16) bool {
+		a := Quality{int(w1), int(v1), int(s1)}
+		b := Quality{int(w2), int(v2), int(s2)}
+		sum := a
+		sum.Add(b)
+		return math.Abs(sum.Score()-(a.Score()+b.Score())) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	if got := ImprovementPct(200, 150); got != 25 {
+		t.Fatalf("ImprovementPct = %v, want 25", got)
+	}
+	if got := ImprovementPct(100, 120); got != -20 {
+		t.Fatalf("ImprovementPct = %v, want -20", got)
+	}
+	if got := ImprovementPct(0, 0); got != 0 {
+		t.Fatalf("ImprovementPct(0,0) = %v", got)
+	}
+	if got := ImprovementPct(0, 5); got != -100 {
+		t.Fatalf("ImprovementPct(0,5) = %v", got)
+	}
+}

@@ -1,0 +1,84 @@
+package pattern
+
+import "math"
+
+// computeDown fills cbc(u, ·) — eq. 2 extended with the node's own pin
+// access: for every access layer la, the cheapest way to terminate all of
+// u's already-routed children edges and u's pins onto a single via stack at
+// u's position that also reaches la.
+//
+// The enumeration over stack intervals [lo,hi] is exact: any solution's via
+// stack at u spans some layer interval containing la, every chosen child
+// connection layer, and every pin layer; conversely every such interval
+// yields a feasible solution, so minimizing over intervals (with each child
+// independently picking its best layer inside) is the true minimum.
+func (s *solver) computeDown(u int) {
+	node := &s.tree.Nodes[u]
+	L := s.L
+	down := make([]float64, L)
+	picks := make([]downChoice, L)
+
+	pinLo, pinHi := 0, 0
+	if node.IsPin() {
+		pinLo, pinHi = node.PinLayers[0], node.PinLayers[0]
+		for _, pl := range node.PinLayers[1:] {
+			if pl < pinLo {
+				pinLo = pl
+			}
+			if pl > pinHi {
+				pinHi = pl
+			}
+		}
+	}
+
+	// Memoize via-stack costs from each lo upward.
+	stack := make([][]float64, L+1)
+	for lo := 1; lo <= L; lo++ {
+		stack[lo] = make([]float64, L+1)
+		for hi := lo + 1; hi <= L; hi++ {
+			stack[lo][hi] = stack[lo][hi-1] + s.g.ViaEdgeCost(node.Pos.X, node.Pos.Y, hi-1)
+		}
+	}
+
+	children := node.Children
+	for la := 1; la <= L; la++ {
+		best := Inf
+		var bestPick downChoice
+		for lo := 1; lo <= la; lo++ {
+			if pinLo != 0 && lo > pinLo {
+				break
+			}
+			for hi := la; hi <= L; hi++ {
+				if pinHi != 0 && hi < pinHi {
+					continue
+				}
+				cost := stack[lo][hi]
+				pick := downChoice{lo: lo, hi: hi, childLayers: make([]int, 0, len(children))}
+				feasible := true
+				for _, c := range children {
+					ev := s.edgeVal[c]
+					bl, bc := 0, Inf
+					for l := lo; l <= hi; l++ {
+						s.ops.DownOps++
+						if ev[l-1] < bc {
+							bc, bl = ev[l-1], l
+						}
+					}
+					if math.IsInf(bc, 1) {
+						feasible = false
+						break
+					}
+					cost += bc
+					pick.childLayers = append(pick.childLayers, bl)
+				}
+				if feasible && cost < best {
+					best, bestPick = cost, pick
+				}
+			}
+		}
+		down[la-1] = best
+		picks[la-1] = bestPick
+	}
+	s.down[u] = down
+	s.downPick[u] = picks
+}

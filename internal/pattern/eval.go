@@ -1,0 +1,103 @@
+package pattern
+
+// CPUEvaluator executes computation-graph flows sequentially — the baseline
+// CUGR-style execution the paper's GPU kernels are measured against.
+type CPUEvaluator struct {
+	Ops Ops
+}
+
+// EvalProgram implements Evaluator.
+func (e *CPUEvaluator) EvalProgram(p *EdgeProgram) ([]float64, []Choice) {
+	return EvalProgramSeq(p, &e.Ops)
+}
+
+// EvalProgramSeq evaluates a program with plain sequential min-plus
+// reductions, counting every inner-loop operation into ops. It is shared by
+// the CPU evaluator and the functional half of the simulated GPU device (the
+// two backends must return bit-identical results).
+func EvalProgramSeq(p *EdgeProgram, ops *Ops) ([]float64, []Choice) {
+	L := p.L
+	if !p.Hybrid {
+		out, arg := MinPlusVecMat(p.LFlow.W1, p.LFlow.W2, L)
+		ops.FlowOps += int64(L * L)
+		choices := make([]Choice, L)
+		for lt := 0; lt < L; lt++ {
+			choices[lt] = Choice{Cand: -1, Ls: arg[lt] + 1}
+		}
+		return out, choices
+	}
+
+	val := make([]float64, L)
+	choices := make([]Choice, L)
+	for i := range val {
+		val[i] = Inf
+	}
+	for ci := range p.ZFlows {
+		f := &p.ZFlows[ci]
+		tmp, argLs := MinPlusVecMat(f.W1, f.W2, L)
+		out, argLb := MinPlusVecMat(tmp, f.W3, L)
+		ops.FlowOps += int64(2 * L * L)
+		for lt := 0; lt < L; lt++ {
+			ops.FlowOps++ // merge step, eq. 10
+			if out[lt] < val[lt] {
+				lb := argLb[lt]
+				val[lt] = out[lt]
+				choices[lt] = Choice{Cand: ci, Ls: argLs[lb] + 1, Lb: lb + 1}
+			}
+		}
+	}
+	for si := range p.SFlows {
+		out, args := evalSFlow(&p.SFlows[si], L, ops)
+		for lt := 0; lt < L; lt++ {
+			ops.FlowOps++ // merge step over the extended candidate set
+			if out[lt] < val[lt] {
+				a := args[lt]
+				val[lt] = out[lt]
+				choices[lt] = Choice{
+					Cand: len(p.ZFlows) + si,
+					Ls:   a[0], Lb: a[1], Lc: a[2],
+				}
+			}
+		}
+	}
+	return val, choices
+}
+
+// MinPlusVecMat computes out[j] = min_i w[i] + m[i*L+j] along with the
+// argmin rows — the vector-matrix min-plus product at the heart of the
+// computation-graph flows (eq. 7 / eq. 14). Inf entries propagate naturally.
+func MinPlusVecMat(w []float64, m []float64, L int) (out []float64, arg []int) {
+	out = make([]float64, L)
+	arg = make([]int, L)
+	for j := 0; j < L; j++ {
+		best, bi := Inf, 0
+		for i := 0; i < L; i++ {
+			if v := w[i] + m[i*L+j]; v < best {
+				best, bi = v, i
+			}
+		}
+		out[j] = best
+		arg[j] = bi
+	}
+	return out, arg
+}
+
+// MergeMin folds candidate outputs element-wise (eq. 10), returning the
+// winning candidate index per entry.
+func MergeMin(outs [][]float64, L int) (val []float64, cand []int) {
+	val = make([]float64, L)
+	cand = make([]int, L)
+	for j := 0; j < L; j++ {
+		val[j] = Inf
+		cand[j] = -1
+	}
+	for ci, out := range outs {
+		for j := 0; j < L; j++ {
+			if out[j] < val[j] {
+				val[j] = out[j]
+				cand[j] = ci
+			}
+		}
+	}
+	return val, cand
+}

@@ -1,0 +1,208 @@
+package pattern
+
+import (
+	"fastgr/internal/geom"
+	"fastgr/internal/grid"
+	"fastgr/internal/route"
+)
+
+// EdgeProgram is the computation-graph flow of one two-pin net: either a
+// single L-shape flow (Fig. 8) or M+N candidate Z-shape flows plus a merge
+// step (Figs. 9–10). Infeasible layer combinations carry Inf weights.
+type EdgeProgram struct {
+	TP     route.TwoPin
+	L      int
+	Hybrid bool // true when ZFlows drive the edge (hybrid/Z kernels)
+
+	LFlow  *LFlow
+	ZFlows []ZFlow
+	SFlows []SFlow // three-bend staircase candidates (Staircase mode)
+}
+
+// LFlow is the single-bend flow: out[lt] = min_ls W1[ls] + W2[ls][lt]
+// (eq. 7). The bend point is implied by ls: a horizontal source layer runs
+// x-first (bend at (t.x, s.y)), a vertical one y-first (bend at (s.x, t.y)).
+type LFlow struct {
+	W1    []float64    // L entries, eq. 5
+	W2    []float64    // L*L row-major [ls][lt], eq. 6
+	Bends []geom.Point // per ls: the bend position B(ls)
+}
+
+// ZFlow is one candidate two-bend flow i:
+// out_i[lt] = min_{ls,lb} W1[ls] + W2[ls][lb] + W3[lb][lt] (eq. 14).
+type ZFlow struct {
+	W1 []float64 // L entries, eq. 11
+	W2 []float64 // L*L [ls][lb], eq. 12
+	W3 []float64 // L*L [lb][lt], eq. 13
+	Bs geom.Point
+	Bt geom.Point
+}
+
+// NumFlows reports how many candidate flows the program evaluates (the
+// quantity the GPU occupancy model parallelizes over).
+func (p *EdgeProgram) NumFlows() int {
+	if p.Hybrid {
+		return len(p.ZFlows) + len(p.SFlows)
+	}
+	return 1
+}
+
+func (s *solver) buildProgram(tp route.TwoPin) *EdgeProgram {
+	if s.useHybrid(tp) {
+		var prog *EdgeProgram
+		if s.cfg.Mode == Staircase {
+			prog = s.buildStairProgram(tp)
+		} else {
+			prog = s.buildZProgram(tp)
+		}
+		if prog != nil {
+			return prog
+		}
+	}
+	return s.buildLProgram(tp)
+}
+
+// segOrient returns whether a->b is horizontal; a must differ from b in
+// exactly one axis (callers construct bends that guarantee this).
+func segOrient(a, b geom.Point) grid.Dir {
+	if a.Y == b.Y {
+		return grid.Horizontal
+	}
+	return grid.Vertical
+}
+
+// segCostAllLayers returns, per layer, the cost of the straight run a-b, or
+// Inf on layers whose preferred direction fights the run. A zero-length run
+// costs zero on every layer.
+func (s *solver) segCostAllLayers(a, b geom.Point) []float64 {
+	costs := make([]float64, s.L)
+	if a == b {
+		return costs
+	}
+	o := segOrient(a, b)
+	for l := 1; l <= s.L; l++ {
+		if s.g.Dir(l) != o {
+			costs[l-1] = Inf
+			continue
+		}
+		costs[l-1] = s.g.SegCost(l, a, b)
+		s.ops.FlowOps += int64(geom.ManhattanDist(a, b))
+	}
+	return costs
+}
+
+// buildLProgram assembles the L-shape flow of eqs. 5–6.
+func (s *solver) buildLProgram(tp route.TwoPin) *EdgeProgram {
+	L := s.L
+	src, dst := tp.Source(), tp.Target()
+	down := s.down[tp.Child]
+
+	b1 := geom.Point{X: dst.X, Y: src.Y} // x-first bend
+	b2 := geom.Point{X: src.X, Y: dst.Y} // y-first bend
+	seg1H := s.segCostAllLayers(src, b1) // horizontal first leg
+	seg1V := s.segCostAllLayers(src, b2) // vertical first leg
+	seg2V := s.segCostAllLayers(b1, dst) // vertical second leg
+	seg2H := s.segCostAllLayers(b2, dst) // horizontal second leg
+
+	f := &LFlow{
+		W1:    make([]float64, L),
+		W2:    make([]float64, L*L),
+		Bends: make([]geom.Point, L),
+	}
+	for ls := 1; ls <= L; ls++ {
+		var bend geom.Point
+		var leg1, leg2 []float64
+		if s.g.Dir(ls) == grid.Horizontal {
+			bend, leg1, leg2 = b1, seg1H, seg2V
+		} else {
+			bend, leg1, leg2 = b2, seg1V, seg2H
+		}
+		f.Bends[ls-1] = bend
+		f.W1[ls-1] = down[ls-1] + leg1[ls-1]
+		for lt := 1; lt <= L; lt++ {
+			s.ops.FlowOps++
+			w := leg2[lt-1]
+			if w < Inf {
+				w += s.g.ViaStackCost(bend.X, bend.Y, ls, lt)
+			}
+			f.W2[(ls-1)*L+(lt-1)] = w
+		}
+	}
+	return &EdgeProgram{TP: tp, L: L, LFlow: f}
+}
+
+// buildZProgram assembles the candidate Z-shape flows. In Hybrid mode the
+// bend columns/rows span the whole bounding box (M+N candidates, the two
+// boundary ones degenerating into L shapes, Section III-F); in ZShape mode
+// only the interior M+N-2 candidates are used, and nil is returned when the
+// box is too thin to have any (the caller falls back to L).
+func (s *solver) buildZProgram(tp route.TwoPin) *EdgeProgram {
+	L := s.L
+	src, dst := tp.Source(), tp.Target()
+	lox, hix := geom.Min(src.X, dst.X), geom.Max(src.X, dst.X)
+	loy, hiy := geom.Min(src.Y, dst.Y), geom.Max(src.Y, dst.Y)
+
+	interiorOnly := s.cfg.Mode == ZShape
+	var flows []ZFlow
+	for xi := lox; xi <= hix; xi++ {
+		if interiorOnly && (xi == src.X || xi == dst.X) {
+			continue
+		}
+		bs := geom.Point{X: xi, Y: src.Y}
+		bt := geom.Point{X: xi, Y: dst.Y}
+		flows = append(flows, s.buildZFlow(tp, bs, bt))
+	}
+	for yi := loy; yi <= hiy; yi++ {
+		if interiorOnly && (yi == src.Y || yi == dst.Y) {
+			continue
+		}
+		bs := geom.Point{X: src.X, Y: yi}
+		bt := geom.Point{X: dst.X, Y: yi}
+		flows = append(flows, s.buildZFlow(tp, bs, bt))
+	}
+	if len(flows) == 0 {
+		return nil
+	}
+	return &EdgeProgram{TP: tp, L: L, Hybrid: true, ZFlows: flows}
+}
+
+// buildZFlow assembles eqs. 11–13 for one bend-point pair.
+func (s *solver) buildZFlow(tp route.TwoPin, bs, bt geom.Point) ZFlow {
+	L := s.L
+	src, dst := tp.Source(), tp.Target()
+	down := s.down[tp.Child]
+
+	seg1 := s.segCostAllLayers(src, bs)
+	seg2 := s.segCostAllLayers(bs, bt)
+	seg3 := s.segCostAllLayers(bt, dst)
+
+	f := ZFlow{
+		W1: make([]float64, L),
+		W2: make([]float64, L*L),
+		W3: make([]float64, L*L),
+		Bs: bs,
+		Bt: bt,
+	}
+	for ls := 1; ls <= L; ls++ {
+		f.W1[ls-1] = down[ls-1] + seg1[ls-1]
+		for lb := 1; lb <= L; lb++ {
+			s.ops.FlowOps++
+			w := seg2[lb-1]
+			if w < Inf {
+				w += s.g.ViaStackCost(bs.X, bs.Y, ls, lb)
+			}
+			f.W2[(ls-1)*L+(lb-1)] = w
+		}
+	}
+	for lb := 1; lb <= L; lb++ {
+		for lt := 1; lt <= L; lt++ {
+			s.ops.FlowOps++
+			w := seg3[lt-1]
+			if w < Inf {
+				w += s.g.ViaStackCost(bt.X, bt.Y, lb, lt)
+			}
+			f.W3[(lb-1)*L+(lt-1)] = w
+		}
+	}
+	return f
+}

@@ -1,0 +1,214 @@
+// Package pattern implements the paper's pattern routing algorithms for the
+// general routing stage: 3-D L-shape (Section III-D, eqs. 1–7), 3-D Z-shape
+// (Section III-E, eqs. 8–14) and the hybrid-shape algorithm with HPWL-based
+// selection (Sections III-F, IV-D).
+//
+// Each two-pin net's dynamic program is reformulated into a min-plus
+// computation-graph flow — an edge-weight vector w⁽¹⁹ and matrices W⁽²⁾/W⁽³⁾
+// evaluated with vector-addition and minimum reductions — exactly the
+// GPU-friendly structure of Figs. 8–10. The flows are built here once and
+// can be evaluated either by the sequential CPU evaluator in this package
+// (the CUGR-style baseline) or by the simulated GPU device in package
+// patterngpu; both produce bit-identical routing results.
+package pattern
+
+import (
+	"math"
+
+	"fastgr/internal/grid"
+	"fastgr/internal/route"
+	"fastgr/internal/stt"
+)
+
+// Mode selects the pattern set of the general routing stage.
+type Mode int
+
+const (
+	// LShape uses only single-bend patterns (FastGRL and the CUGR baseline).
+	LShape Mode = iota
+	// ZShape uses only two-bend patterns with interior bend points.
+	ZShape
+	// Hybrid unifies L and Z patterns as M+N candidate bend-point pairs
+	// (FastGRH).
+	Hybrid
+	// Staircase extends the framework to three-bend patterns (the
+	// "more bend points" extension of Section IV-F): hybrid candidates plus
+	// sampled interior staircases, evaluated as four-stage min-plus chains.
+	Staircase
+)
+
+func (m Mode) String() string {
+	switch m {
+	case LShape:
+		return "L"
+	case ZShape:
+		return "Z"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "staircase"
+	}
+}
+
+// Config controls one pattern routing invocation.
+type Config struct {
+	Mode Mode
+	// Selection applies the hybrid kernel only to two-pin nets with
+	// T1 < HPWL <= T2 (Section IV-D; the paper picks 100 and 500), falling
+	// back to L-shape for small and tremendous nets. Only meaningful in
+	// Hybrid mode.
+	Selection bool
+	T1, T2    int
+}
+
+// Inf marks an infeasible layer combination in a flow (a segment whose
+// orientation fights the layer's preferred direction).
+var Inf = math.Inf(1)
+
+// Ops counts dynamic-program work for the deterministic timing model:
+// FlowOps is the min-plus inner-loop count (the work a GPU lane array would
+// absorb), DownOps the bottom-children-cost work, which stays on the
+// sequential side in both implementations.
+type Ops struct {
+	FlowOps int64
+	DownOps int64
+}
+
+// Total returns all counted operations.
+func (o Ops) Total() int64 { return o.FlowOps + o.DownOps }
+
+// Add accumulates counters.
+func (o *Ops) Add(p Ops) {
+	o.FlowOps += p.FlowOps
+	o.DownOps += p.DownOps
+}
+
+// Result is the outcome of routing one multi-pin net.
+type Result struct {
+	Route *route.NetRoute
+	Cost  float64
+	Ops   Ops
+	// Edges and HybridEdges count the two-pin nets routed, and how many of
+	// them used the hybrid kernel (selection statistics for Table VI).
+	Edges       int
+	HybridEdges int
+	// EdgeFlows and EdgeHybrid record, per routed two-pin net in execution
+	// order, the number of candidate flows and whether the multi-stage
+	// (Z/hybrid) kernel ran — the inputs to the GPU block workload model.
+	EdgeFlows  []int
+	EdgeHybrid []bool
+}
+
+// Evaluator abstracts who executes a two-pin net's computation-graph flow:
+// the sequential CPU (this package) or the simulated GPU (patterngpu).
+type Evaluator interface {
+	// EvalProgram returns, for every target layer lt in 1..L, the minimum
+	// edge cost val[lt-1] (eq. 3 / eq. 10) and the argmin choice that
+	// achieves it.
+	EvalProgram(p *EdgeProgram) (val []float64, choices []Choice)
+}
+
+// Choice records the argmin of one target layer: the candidate flow index
+// (-1 for the single L-shape flow) and the source/bend layers.
+type Choice struct {
+	Cand   int
+	Ls, Lb int // 1-based; Lb is 0 for L-shape flows
+	Lc     int // second bend layer; only set for staircase flows
+}
+
+// Solve routes one multi-pin net: builds the Steiner-tree DP bottom-up in
+// the intra-net DFS order, evaluating every two-pin net's flow with eval,
+// then reconstructs the optimal geometry. The grid is not modified; callers
+// commit the returned route.
+func Solve(g *grid.Graph, tree *stt.Tree, cfg Config, eval Evaluator) Result {
+	s := &solver{g: g, tree: tree, cfg: cfg, eval: eval, L: g.L}
+	return s.run()
+}
+
+// SolveCPU routes one net with the sequential CPU evaluator.
+func SolveCPU(g *grid.Graph, tree *stt.Tree, cfg Config) Result {
+	e := &CPUEvaluator{}
+	res := Solve(g, tree, cfg, e)
+	res.Ops.FlowOps += e.Ops.FlowOps
+	return res
+}
+
+type solver struct {
+	g    *grid.Graph
+	tree *stt.Tree
+	cfg  Config
+	eval Evaluator
+	L    int
+
+	// Per tree node (indexed by node id):
+	edgeVal    [][]float64    // c*(node, parent, lt) for the edge node->parent
+	edgeChoice [][]Choice     // argmin data for reconstruction
+	edgeProg   []*EdgeProgram // flow kept for geometry reconstruction
+	down       [][]float64    // cbc(node, l) including the node's pin stack
+	downPick   [][]downChoice // argmin data for reconstruction
+
+	ops Ops
+}
+
+// downChoice records how cbc(u, l) was achieved: the via-stack interval and
+// each child's connection layer.
+type downChoice struct {
+	lo, hi      int
+	childLayers []int
+}
+
+func (s *solver) run() Result {
+	n := len(s.tree.Nodes)
+	s.edgeVal = make([][]float64, n)
+	s.edgeChoice = make([][]Choice, n)
+	s.edgeProg = make([]*EdgeProgram, n)
+	s.down = make([][]float64, n)
+	s.downPick = make([][]downChoice, n)
+
+	twoPins := route.Decompose(s.tree)
+	res := Result{Route: &route.NetRoute{NetID: s.tree.NetID}}
+	res.Edges = len(twoPins)
+
+	for _, tp := range twoPins {
+		s.computeDown(tp.Child)
+		prog := s.buildProgram(tp)
+		if prog.Hybrid {
+			res.HybridEdges++
+		}
+		res.EdgeFlows = append(res.EdgeFlows, prog.NumFlows())
+		res.EdgeHybrid = append(res.EdgeHybrid, prog.Hybrid)
+		val, choices := s.eval.EvalProgram(prog)
+		s.edgeVal[tp.Child] = val
+		s.edgeChoice[tp.Child] = choices
+		s.edgeProg[tp.Child] = prog
+	}
+	s.computeDown(s.tree.Root)
+
+	// Root cost: eq. 4 — minimize over the root's access layer.
+	rootVal := s.down[s.tree.Root]
+	bestL, best := 1, rootVal[0]
+	for l := 2; l <= s.L; l++ {
+		if rootVal[l-1] < best {
+			bestL, best = l, rootVal[l-1]
+		}
+	}
+	res.Cost = best
+	s.reconstruct(res.Route, s.tree.Root, bestL)
+	res.Ops = s.ops
+	return res
+}
+
+// useHybrid applies the selection rule to one two-pin net.
+func (s *solver) useHybrid(tp route.TwoPin) bool {
+	switch s.cfg.Mode {
+	case LShape:
+		return false
+	case ZShape, Hybrid, Staircase:
+		if s.cfg.Mode != ZShape && s.cfg.Selection {
+			h := tp.HPWL()
+			return h > s.cfg.T1 && h <= s.cfg.T2
+		}
+		return true
+	}
+	return false
+}

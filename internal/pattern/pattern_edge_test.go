@@ -1,0 +1,166 @@
+package pattern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+	"fastgr/internal/grid"
+	"fastgr/internal/route"
+	"fastgr/internal/stt"
+)
+
+// bruteForceZOnly enumerates interior-bend Z paths (plus the L fallback when
+// no interior bend exists) for a two-pin net with pins on layer 1 — the
+// reference for ZShape mode.
+func bruteForceZOnly(g *grid.Graph, s, t geom.Point) float64 {
+	best := math.Inf(1)
+	L := g.L
+	try := func(bs, bt geom.Point, ls, lb, lt int) {
+		legs := []struct {
+			a, b geom.Point
+			l    int
+		}{{s, bs, ls}, {bs, bt, lb}, {bt, t, lt}}
+		for _, leg := range legs {
+			if leg.a != leg.b && segOrient(leg.a, leg.b) != g.Dir(leg.l) {
+				return
+			}
+		}
+		c := g.ViaStackCost(s.X, s.Y, 1, ls) + g.SegCost(ls, s, bs) +
+			g.ViaStackCost(bs.X, bs.Y, ls, lb) + g.SegCost(lb, bs, bt) +
+			g.ViaStackCost(bt.X, bt.Y, lb, lt) + g.SegCost(lt, bt, t) +
+			g.ViaStackCost(t.X, t.Y, lt, 1)
+		if c < best {
+			best = c
+		}
+	}
+	lox, hix := geom.Min(s.X, t.X), geom.Max(s.X, t.X)
+	loy, hiy := geom.Min(s.Y, t.Y), geom.Max(s.Y, t.Y)
+	any := false
+	for ls := 1; ls <= L; ls++ {
+		for lb := 1; lb <= L; lb++ {
+			for lt := 1; lt <= L; lt++ {
+				for xi := lox + 1; xi < hix; xi++ {
+					any = true
+					try(geom.Point{X: xi, Y: s.Y}, geom.Point{X: xi, Y: t.Y}, ls, lb, lt)
+				}
+				for yi := loy + 1; yi < hiy; yi++ {
+					any = true
+					try(geom.Point{X: s.X, Y: yi}, geom.Point{X: t.X, Y: yi}, ls, lb, lt)
+				}
+			}
+		}
+	}
+	if !any {
+		return bruteForceTwoPin(g, s, t) // L fallback
+	}
+	return best
+}
+
+func TestZShapeMatchesBruteForce(t *testing.T) {
+	g := testGrid(t, 4)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 120; i++ {
+		l := 2 + rng.Intn(3)
+		x, y := rng.Intn(20), rng.Intn(20)
+		if g.HasWireEdge(l, x, y) {
+			if g.Dir(l) == grid.Horizontal {
+				g.AddSegDemand(l, geom.Point{X: x, Y: y}, geom.Point{X: x + 1, Y: y}, rng.Intn(14))
+			} else {
+				g.AddSegDemand(l, geom.Point{X: x, Y: y}, geom.Point{X: x, Y: y + 1}, rng.Intn(14))
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		s := geom.Point{X: rng.Intn(12), Y: rng.Intn(12)}
+		d := geom.Point{X: rng.Intn(12), Y: rng.Intn(12)}
+		if s == d {
+			continue
+		}
+		res := solveAndCheck(t, g, netOf(s, d), Config{Mode: ZShape})
+		want := bruteForceZOnly(g, s, d)
+		if math.Abs(res.Cost-want) > 1e-6 {
+			t.Fatalf("net %v->%v: Z DP cost %v, brute force %v", s, d, res.Cost, want)
+		}
+	}
+}
+
+func TestTwoLayerMinimalGrid(t *testing.T) {
+	// L=2 is the minimum: one horizontal and one vertical layer. Every mode
+	// must still route every net shape.
+	g := testGrid(t, 2)
+	shapes := [][]geom.Point{
+		{{X: 1, Y: 1}, {X: 8, Y: 6}},
+		{{X: 1, Y: 3}, {X: 9, Y: 3}},               // horizontal
+		{{X: 4, Y: 1}, {X: 4, Y: 9}},               // vertical
+		{{X: 2, Y: 2}, {X: 3, Y: 3}, {X: 8, Y: 2}}, // 3-pin
+		{{X: 0, Y: 0}, {X: 15, Y: 15}, {X: 0, Y: 15}, {X: 15, Y: 0}},
+	}
+	for _, pts := range shapes {
+		for _, mode := range []Mode{LShape, ZShape, Hybrid} {
+			solveAndCheck(t, g, netOf(pts...), Config{Mode: mode})
+		}
+	}
+}
+
+func TestDeepChainNet(t *testing.T) {
+	// A long chain stresses the bottom-up DP depth and reconstruction.
+	var pts []geom.Point
+	for i := 0; i < 12; i++ {
+		pts = append(pts, geom.Point{X: 2 * i, Y: (i % 3) * 4})
+	}
+	g := grid.NewFromDesign(&design.Design{
+		Name: "chain", GridW: 32, GridH: 16, NumLayers: 5,
+		LayerCapacity: []int{1, 8, 8, 8, 8}, ViaCapacity: 16,
+		Nets: []*design.Net{netOf(pts[0], pts[1])},
+	})
+	res := solveAndCheck(t, g, netOf(pts...), Config{Mode: Hybrid, Selection: true, T1: 3, T2: 20})
+	if res.Edges < len(pts)-1 {
+		t.Fatalf("chain produced %d edges", res.Edges)
+	}
+}
+
+func TestPatternDoesNotMutateGrid(t *testing.T) {
+	g := testGrid(t, 4)
+	net := netOf(geom.Point{X: 1, Y: 1}, geom.Point{X: 9, Y: 9}, geom.Point{X: 3, Y: 12})
+	tree := stt.Build(net)
+	before, beforeVia := g.TotalDemand()
+	SolveCPU(g, tree, Config{Mode: Hybrid})
+	after, afterVia := g.TotalDemand()
+	if before != after || beforeVia != afterVia {
+		t.Fatal("pattern routing mutated grid demand")
+	}
+}
+
+func TestRouteCommitMatchesSolverGeometry(t *testing.T) {
+	// Committing the returned route and validating against pins must work
+	// for every mode across many random nets (integration of pattern +
+	// route + grid).
+	g := testGrid(t, 5)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 25; i++ {
+		n := 2 + rng.Intn(5)
+		seen := map[geom.Point]bool{}
+		var pts []geom.Point
+		for len(pts) < n {
+			p := geom.Point{X: rng.Intn(20), Y: rng.Intn(20)}
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, p)
+			}
+		}
+		net := netOf(pts...)
+		tree := stt.Build(net)
+		res := SolveCPU(g, tree, Config{Mode: Hybrid, Selection: true, T1: 4, T2: 24})
+		res.Route.Commit(g)
+		if err := res.Route.Validate(g, route.PinTerminals(tree)); err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+	}
+	// Grid now carries demand; pattern routing must adapt: costs positive.
+	if w, _ := g.TotalDemand(); w == 0 {
+		t.Fatal("no demand committed")
+	}
+}

@@ -1,0 +1,124 @@
+package pattern
+
+import (
+	"fastgr/internal/geom"
+	"fastgr/internal/route"
+)
+
+// Section IV-F argues the computation-graph-flow formulation "only needs
+// additional merge cost when extending more bend points". This file
+// implements that extension: 3-bend staircase patterns, evaluated as
+// four-stage min-plus chains
+//
+//	out[lt] = min_{ls,lb,lc} W1[ls] + W2[ls][lb] + W3[lb][lc] + W4[lc][lt]
+//
+// over candidate bend triples. The Staircase mode's candidate set is the
+// hybrid set (all M+N two-bend flows — boundary staircases degenerate into
+// Z and L shapes) plus up to MaxStairCands sampled interior (xi, yj)
+// staircase pairs, so its optimum never trails the hybrid kernel's.
+
+// MaxStairCands bounds the interior staircase candidates per two-pin net;
+// the sampling stride grows with the bounding box to respect it.
+const MaxStairCands = 64
+
+// SFlow is one candidate three-bend flow.
+type SFlow struct {
+	W1 []float64 // L, source leg (includes cbc)
+	W2 []float64 // L*L, bend 1
+	W3 []float64 // L*L, bend 2
+	W4 []float64 // L*L, bend 3
+	B1 geom.Point
+	B2 geom.Point
+	B3 geom.Point
+}
+
+// buildStairProgram assembles the staircase program: the full hybrid
+// candidate set plus sampled interior staircases. Returns nil when the net
+// is too small for any flow (caller falls back to L).
+func (s *solver) buildStairProgram(tp route.TwoPin) *EdgeProgram {
+	base := s.buildZProgram(tp)
+	if base == nil {
+		return nil
+	}
+	src, dst := tp.Source(), tp.Target()
+	lox, hix := geom.Min(src.X, dst.X), geom.Max(src.X, dst.X)
+	loy, hiy := geom.Min(src.Y, dst.Y), geom.Max(src.Y, dst.Y)
+	m, n := hix-lox-1, hiy-loy-1 // interior coordinate counts
+	if m > 0 && n > 0 {
+		stride := 1
+		for (m/stride+1)*(n/stride+1) > MaxStairCands {
+			stride++
+		}
+		for xi := lox + 1; xi < hix; xi += stride {
+			for yj := loy + 1; yj < hiy; yj += stride {
+				// HVHV: s -(H)-> B1 -(V)-> B2 -(H)-> B3 -(V)-> t.
+				b1 := geom.Point{X: xi, Y: src.Y}
+				b2 := geom.Point{X: xi, Y: yj}
+				b3 := geom.Point{X: dst.X, Y: yj}
+				base.SFlows = append(base.SFlows, s.buildSFlow(tp, b1, b2, b3))
+				// VHVH: s -(V)-> B1' -(H)-> B2' -(V)-> B3' -(H)-> t.
+				b1v := geom.Point{X: src.X, Y: yj}
+				b2v := geom.Point{X: xi, Y: yj}
+				b3v := geom.Point{X: xi, Y: dst.Y}
+				base.SFlows = append(base.SFlows, s.buildSFlow(tp, b1v, b2v, b3v))
+			}
+		}
+	}
+	return base
+}
+
+// buildSFlow assembles one staircase flow's weight chain.
+func (s *solver) buildSFlow(tp route.TwoPin, b1, b2, b3 geom.Point) SFlow {
+	L := s.L
+	src, dst := tp.Source(), tp.Target()
+	down := s.down[tp.Child]
+
+	seg1 := s.segCostAllLayers(src, b1)
+	seg2 := s.segCostAllLayers(b1, b2)
+	seg3 := s.segCostAllLayers(b2, b3)
+	seg4 := s.segCostAllLayers(b3, dst)
+
+	f := SFlow{
+		W1: make([]float64, L),
+		W2: make([]float64, L*L),
+		W3: make([]float64, L*L),
+		W4: make([]float64, L*L),
+		B1: b1, B2: b2, B3: b3,
+	}
+	for ls := 1; ls <= L; ls++ {
+		f.W1[ls-1] = down[ls-1] + seg1[ls-1]
+	}
+	fill := func(w []float64, bend geom.Point, seg []float64) {
+		for a := 1; a <= L; a++ {
+			for b := 1; b <= L; b++ {
+				s.ops.FlowOps++
+				v := seg[b-1]
+				if v < Inf {
+					v += s.g.ViaStackCost(bend.X, bend.Y, a, b)
+				}
+				w[(a-1)*L+(b-1)] = v
+			}
+		}
+	}
+	fill(f.W2, b1, seg2)
+	fill(f.W3, b2, seg3)
+	fill(f.W4, b3, seg4)
+	return f
+}
+
+// evalSFlow chains three min-plus stages and returns per-target-layer cost
+// and the argmin (ls, lb, lc) triple.
+func evalSFlow(f *SFlow, L int, ops *Ops) (out []float64, args [][3]int) {
+	t1, a1 := MinPlusVecMat(f.W1, f.W2, L) // over ls -> per lb
+	t2, a2 := MinPlusVecMat(t1, f.W3, L)   // over lb -> per lc
+	out, a3 := MinPlusVecMat(t2, f.W4, L)  // over lc -> per lt
+	ops.FlowOps += int64(3 * L * L)
+	args = make([][3]int, L)
+	for lt := 0; lt < L; lt++ {
+		lc := a3[lt]
+		lb := a2[lc]
+		ls := a1[lb]
+		args[lt] = [3]int{ls + 1, lb + 1, lc + 1}
+	}
+	return out, args
+}

@@ -1,0 +1,112 @@
+// Package patterngpu is the GPU-friendly pattern routing framework of
+// Fig. 7: each Algorithm-1 batch of conflict-free multi-pin nets becomes one
+// kernel invocation; inside the kernel every net maps to its own thread
+// block, whose lanes evaluate the net's computation-graph flows (all L×L —
+// or (M+N)×L×L×L — layer combinations at once).
+//
+// Functionally the flows are evaluated with the exact same code the CPU
+// baseline uses (pattern.EvalProgramSeq), so GPU-routed nets are
+// bit-identical to CPU-routed nets; what this package adds is the workload
+// accounting that drives the simulated device's clock — see package gpu for
+// the substitution argument.
+package patterngpu
+
+import (
+	"math/bits"
+	"time"
+
+	"fastgr/internal/gpu"
+	"fastgr/internal/grid"
+	"fastgr/internal/pattern"
+	"fastgr/internal/stt"
+)
+
+// Router routes batches of nets on a simulated device.
+type Router struct {
+	Dev *gpu.Device
+	Cfg pattern.Config
+}
+
+// New builds a Router with the given device spec and pattern configuration.
+func New(spec gpu.Spec, cfg pattern.Config) *Router {
+	return &Router{Dev: gpu.New(spec), Cfg: cfg}
+}
+
+// BatchResult is the outcome of one kernel (one batch).
+type BatchResult struct {
+	Results []pattern.Result
+	// KernelTime is the simulated device time of this batch's kernel.
+	KernelTime time.Duration
+	// SeqOps is the total DP work, the currency for the sequential-CPU
+	// comparison (Table VIII's 9.324x).
+	SeqOps int64
+}
+
+// RouteBatch routes one conflict-free batch of nets as a single kernel. The
+// grid is only read; the caller commits the returned routes (the batch is
+// conflict-free, so intra-batch ordering cannot change results).
+func (r *Router) RouteBatch(g *grid.Graph, trees []*stt.Tree) BatchResult {
+	br := BatchResult{Results: make([]pattern.Result, len(trees))}
+	blocks := make([]gpu.Block, len(trees))
+	var bytesIn, bytesOut int64
+
+	for i, tree := range trees {
+		rec := &recorder{}
+		res := pattern.Solve(g, tree, r.Cfg, rec)
+		br.Results[i] = res
+
+		ops := res.Ops.Total() + rec.evalOps
+		blocks[i] = gpu.Block{Ops: ops, Span: blockSpan(g.L, res)}
+		br.SeqOps += ops
+		bytesIn += flowBytes(g.L, res)
+		bytesOut += int64(len(res.EdgeFlows)) * int64(g.L) * 8
+	}
+	br.KernelTime = r.Dev.LaunchKernel(blocks, bytesIn, bytesOut)
+	return br
+}
+
+// blockSpan models the block's dependency chain: the net's two-pin edges
+// run sequentially in DFS order; each edge contributes its min-plus stage
+// depth (L per vector-matrix stage, doubled for two-stage Z flows) plus a
+// log-depth merge over its candidate flows, and each tree node contributes
+// an L-deep bottom-children reduction (the interval scan parallelizes over
+// lanes; only the prefix-min depth is serial).
+func blockSpan(L int, res pattern.Result) int64 {
+	span := int64(0)
+	for i, flows := range res.EdgeFlows {
+		stages := int64(1)
+		if res.EdgeHybrid[i] {
+			stages = 2
+		}
+		span += stages*int64(L) + int64(bits.Len(uint(flows)))
+	}
+	span += int64(len(res.EdgeFlows)+1) * int64(L)
+	return span
+}
+
+// flowBytes estimates the host->device bytes of a net's flow weights
+// (float64 W1/W2/W3 entries).
+func flowBytes(L int, res pattern.Result) int64 {
+	var b int64
+	for i, flows := range res.EdgeFlows {
+		if res.EdgeHybrid[i] {
+			b += int64(flows) * int64(L+2*L*L) * 8
+		} else {
+			b += int64(L+L*L) * 8
+		}
+	}
+	return b
+}
+
+// recorder evaluates flows functionally while accounting device work.
+type recorder struct {
+	ops     pattern.Ops
+	evalOps int64
+}
+
+func (r *recorder) EvalProgram(p *pattern.EdgeProgram) ([]float64, []pattern.Choice) {
+	before := r.ops.FlowOps
+	val, ch := pattern.EvalProgramSeq(p, &r.ops)
+	r.evalOps += r.ops.FlowOps - before
+	return val, ch
+}

@@ -1,0 +1,149 @@
+package patterngpu
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fastgr/internal/design"
+	"fastgr/internal/gpu"
+	"fastgr/internal/grid"
+	"fastgr/internal/pattern"
+	"fastgr/internal/route"
+	"fastgr/internal/stt"
+)
+
+func setup(t *testing.T) (*grid.Graph, []*stt.Tree) {
+	t.Helper()
+	d := design.MustGenerate("18test5m", 0.002)
+	g := grid.NewFromDesign(d)
+	trees := make([]*stt.Tree, 0, 120)
+	for _, n := range d.Nets[:120] {
+		trees = append(trees, stt.Build(n))
+	}
+	return g, trees
+}
+
+func TestGPUResultsMatchCPU(t *testing.T) {
+	g, trees := setup(t)
+	for _, cfg := range []pattern.Config{
+		{Mode: pattern.LShape},
+		{Mode: pattern.Hybrid, Selection: true, T1: 4, T2: 50},
+	} {
+		r := New(gpu.RTX3090(), cfg)
+		br := r.RouteBatch(g, trees)
+		if len(br.Results) != len(trees) {
+			t.Fatalf("got %d results for %d trees", len(br.Results), len(trees))
+		}
+		for i, tree := range trees {
+			cpuRes := pattern.SolveCPU(g, tree, cfg)
+			gpuRes := br.Results[i]
+			if math.Abs(cpuRes.Cost-gpuRes.Cost) > 1e-9 {
+				t.Fatalf("net %d mode %v: CPU cost %v, GPU cost %v",
+					tree.NetID, cfg.Mode, cpuRes.Cost, gpuRes.Cost)
+			}
+			if gpuRes.Route.Wirelength(g) != cpuRes.Route.Wirelength(g) {
+				t.Fatalf("net %d: wirelength differs between backends", tree.NetID)
+			}
+			if err := gpuRes.Route.Validate(g, route.PinTerminals(tree)); err != nil {
+				t.Fatalf("net %d: %v", tree.NetID, err)
+			}
+		}
+	}
+}
+
+func TestKernelTimeAdvancesClock(t *testing.T) {
+	g, trees := setup(t)
+	r := New(gpu.RTX3090(), pattern.Config{Mode: pattern.LShape})
+	br := r.RouteBatch(g, trees)
+	if br.KernelTime <= 0 {
+		t.Fatal("kernel time not positive")
+	}
+	if r.Dev.SimTime() != br.KernelTime {
+		t.Fatalf("device clock %v != kernel time %v", r.Dev.SimTime(), br.KernelTime)
+	}
+	st := r.Dev.Stats()
+	if st.Kernels != 1 || st.Blocks != int64(len(trees)) {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Ops == 0 || st.BytesMoved == 0 {
+		t.Fatal("ops/bytes not accounted")
+	}
+	if br.SeqOps != st.Ops {
+		t.Fatalf("SeqOps %d != device ops %d", br.SeqOps, st.Ops)
+	}
+}
+
+func TestGPUFasterThanModeledSequentialCPU(t *testing.T) {
+	// The headline property behind Table VIII: batched block-parallel
+	// execution beats one core doing the same ops sequentially.
+	g, trees := setup(t)
+	r := New(gpu.RTX3090(), pattern.Config{Mode: pattern.LShape})
+	br := r.RouteBatch(g, trees)
+	cpuTime := gpu.XeonGold6226R().SequentialTime(br.SeqOps)
+	if br.KernelTime >= cpuTime {
+		t.Fatalf("GPU kernel (%v) not faster than sequential CPU (%v)", br.KernelTime, cpuTime)
+	}
+	speedup := float64(cpuTime) / float64(br.KernelTime)
+	if speedup < 1.5 || speedup > 500 {
+		t.Fatalf("speedup %.1fx outside plausible band", speedup)
+	}
+}
+
+func TestHybridKernelSlowerThanL(t *testing.T) {
+	// The hybrid kernel evaluates (M+N)xLxLxL combinations vs LxL — its
+	// kernels must be slower, mirroring 9.324x vs 2.070x in Table VIII.
+	g, trees := setup(t)
+	rl := New(gpu.RTX3090(), pattern.Config{Mode: pattern.LShape})
+	lt := rl.RouteBatch(g, trees).KernelTime
+	rh := New(gpu.RTX3090(), pattern.Config{Mode: pattern.Hybrid})
+	ht := rh.RouteBatch(g, trees).KernelTime
+	if ht <= lt {
+		t.Fatalf("hybrid kernel (%v) not slower than L kernel (%v)", ht, lt)
+	}
+}
+
+func TestSelectionReducesHybridKernelTime(t *testing.T) {
+	g, trees := setup(t)
+	full := New(gpu.RTX3090(), pattern.Config{Mode: pattern.Hybrid})
+	ft := full.RouteBatch(g, trees).KernelTime
+	sel := New(gpu.RTX3090(), pattern.Config{Mode: pattern.Hybrid, Selection: true, T1: 4, T2: 30})
+	st := sel.RouteBatch(g, trees).KernelTime
+	if st >= ft {
+		t.Fatalf("selection (%v) did not speed up hybrid kernel (%v)", st, ft)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	g, _ := setup(t)
+	r := New(gpu.RTX3090(), pattern.Config{Mode: pattern.LShape})
+	br := r.RouteBatch(g, nil)
+	if len(br.Results) != 0 {
+		t.Fatal("results for empty batch")
+	}
+	if br.KernelTime <= 0 {
+		t.Fatal("even an empty kernel pays launch overhead")
+	}
+}
+
+func TestBlockSpanScalesWithEdges(t *testing.T) {
+	small := pattern.Result{EdgeFlows: []int{1}, EdgeHybrid: []bool{false}}
+	big := pattern.Result{
+		EdgeFlows:  []int{1, 8, 8, 1},
+		EdgeHybrid: []bool{false, true, true, false},
+	}
+	if blockSpan(9, big) <= blockSpan(9, small) {
+		t.Fatal("span not monotone in edge count")
+	}
+}
+
+func TestDeterministicKernelTiming(t *testing.T) {
+	g, trees := setup(t)
+	mk := func() time.Duration {
+		r := New(gpu.RTX3090(), pattern.Config{Mode: pattern.Hybrid, Selection: true, T1: 4, T2: 40})
+		return r.RouteBatch(g, trees).KernelTime
+	}
+	if mk() != mk() {
+		t.Fatal("kernel timing not deterministic")
+	}
+}

@@ -1,0 +1,315 @@
+// Package route defines the routed-net representation shared by pattern and
+// maze routing — wire segments on layers plus via stacks — along with the
+// multi-pin → two-pin decomposition and the DFS intra-net ordering of
+// Section II-D, demand commit/uncommit against the grid, and connectivity
+// validation.
+package route
+
+import (
+	"fmt"
+
+	"fastgr/internal/geom"
+	"fastgr/internal/grid"
+	"fastgr/internal/stt"
+)
+
+// TwoPin is one two-pin net obtained from a Steiner tree edge, routed from
+// the child node (the paper's source Ps) to the parent node (target Pt).
+type TwoPin struct {
+	Tree          *stt.Tree
+	Child, Parent int // node ids in Tree
+}
+
+// Source returns the child endpoint position.
+func (tp TwoPin) Source() geom.Point { return tp.Tree.Nodes[tp.Child].Pos }
+
+// Target returns the parent endpoint position.
+func (tp TwoPin) Target() geom.Point { return tp.Tree.Nodes[tp.Parent].Pos }
+
+// BBox returns the two-pin net's bounding box.
+func (tp TwoPin) BBox() geom.Rect { return geom.NewRect(tp.Source(), tp.Target()) }
+
+// HPWL is the half-perimeter (here: Manhattan) length of the two-pin net,
+// the measure the selection technique thresholds on.
+func (tp TwoPin) HPWL() int { return geom.ManhattanDist(tp.Source(), tp.Target()) }
+
+// Decompose breaks a Steiner tree into two-pin nets in intra-net execution
+// order: the reverse of a DFS preorder from the root (Fig. 4), so every
+// node's edge appears after the edges of all its descendants — exactly the
+// bottom-up order the dynamic program requires.
+func Decompose(t *stt.Tree) []TwoPin {
+	pre := make([]int, 0, len(t.Nodes))
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pre = append(pre, u)
+		// Push children in reverse so DFS visits them in declared order.
+		cs := t.Nodes[u].Children
+		for i := len(cs) - 1; i >= 0; i-- {
+			stack = append(stack, cs[i])
+		}
+	}
+	out := make([]TwoPin, 0, len(pre)-1)
+	for i := len(pre) - 1; i >= 0; i-- {
+		u := pre[i]
+		if p := t.Nodes[u].Parent; p >= 0 {
+			out = append(out, TwoPin{Tree: t, Child: u, Parent: p})
+		}
+	}
+	return out
+}
+
+// Seg is a straight wire on one layer between two aligned points.
+type Seg struct {
+	Layer int
+	A, B  geom.Point
+}
+
+// Via is a via stack at one G-cell spanning layers [L1, L2] (normalized).
+type Via struct {
+	X, Y   int
+	L1, L2 int
+}
+
+// Path is the routed geometry of one two-pin net (or one maze connection).
+type Path struct {
+	Segs []Seg
+	Vias []Via
+}
+
+// AddSeg appends a wire segment, skipping zero-length ones.
+func (p *Path) AddSeg(layer int, a, b geom.Point) {
+	if a == b {
+		return
+	}
+	p.Segs = append(p.Segs, Seg{Layer: layer, A: a, B: b})
+}
+
+// AddVia appends a via stack, skipping empty ones and normalizing layer order.
+func (p *Path) AddVia(x, y, l1, l2 int) {
+	if l1 == l2 {
+		return
+	}
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	p.Vias = append(p.Vias, Via{X: x, Y: y, L1: l1, L2: l2})
+}
+
+// NetRoute is the complete routed geometry of one multi-pin net. Demand is
+// committed per distinct grid edge: segments of different tree edges that
+// overlap (common near Steiner points) count once, matching how a real
+// router's net occupies tracks.
+type NetRoute struct {
+	NetID int
+	Paths []Path
+
+	// committed caches the canonical edge sets at commit time so Uncommit
+	// releases exactly what Commit acquired even if Paths changed since.
+	committedWires []wireKey
+	committedVias  []viaKey
+}
+
+type wireKey struct{ layer, x, y int }
+type viaKey struct{ x, y, l int }
+
+// canonical flattens Paths into distinct wire-edge and via-edge sets.
+func (r *NetRoute) canonical(g *grid.Graph) ([]wireKey, []viaKey) {
+	wires := make(map[wireKey]struct{})
+	vias := make(map[viaKey]struct{})
+	for _, p := range r.Paths {
+		for _, s := range p.Segs {
+			if g.Dir(s.Layer) == grid.Horizontal {
+				if s.A.Y != s.B.Y {
+					panic(fmt.Sprintf("route: seg %v-%v misaligned on H layer %d", s.A, s.B, s.Layer))
+				}
+				lo, hi := geom.Min(s.A.X, s.B.X), geom.Max(s.A.X, s.B.X)
+				for x := lo; x < hi; x++ {
+					wires[wireKey{s.Layer, x, s.A.Y}] = struct{}{}
+				}
+			} else {
+				if s.A.X != s.B.X {
+					panic(fmt.Sprintf("route: seg %v-%v misaligned on V layer %d", s.A, s.B, s.Layer))
+				}
+				lo, hi := geom.Min(s.A.Y, s.B.Y), geom.Max(s.A.Y, s.B.Y)
+				for y := lo; y < hi; y++ {
+					wires[wireKey{s.Layer, s.A.X, y}] = struct{}{}
+				}
+			}
+		}
+		for _, v := range p.Vias {
+			for l := v.L1; l < v.L2; l++ {
+				vias[viaKey{v.X, v.Y, l}] = struct{}{}
+			}
+		}
+	}
+	wk := make([]wireKey, 0, len(wires))
+	for k := range wires {
+		wk = append(wk, k)
+	}
+	vk := make([]viaKey, 0, len(vias))
+	for k := range vias {
+		vk = append(vk, k)
+	}
+	return wk, vk
+}
+
+// Committed reports whether the route currently holds grid demand.
+func (r *NetRoute) Committed() bool { return r.committedWires != nil || r.committedVias != nil }
+
+// Commit adds one unit of demand for every distinct wire and via edge the
+// route uses. Committing an already-committed route panics: that is a
+// rip-up/reroute bookkeeping bug.
+func (r *NetRoute) Commit(g *grid.Graph) {
+	if r.Committed() {
+		panic(fmt.Sprintf("route: net %d committed twice", r.NetID))
+	}
+	wk, vk := r.canonical(g)
+	for _, k := range wk {
+		g.AddSegDemand(k.layer, geom.Point{X: k.x, Y: k.y}, stepEnd(g, k), 1)
+	}
+	for _, k := range vk {
+		g.AddViaStackDemand(k.x, k.y, k.l, k.l+1, 1)
+	}
+	if wk == nil {
+		wk = []wireKey{}
+	}
+	if vk == nil {
+		vk = []viaKey{}
+	}
+	r.committedWires, r.committedVias = wk, vk
+}
+
+// Uncommit releases the demand acquired by Commit (rip-up).
+func (r *NetRoute) Uncommit(g *grid.Graph) {
+	if !r.Committed() {
+		panic(fmt.Sprintf("route: net %d uncommitted while not committed", r.NetID))
+	}
+	for _, k := range r.committedWires {
+		g.AddSegDemand(k.layer, geom.Point{X: k.x, Y: k.y}, stepEnd(g, k), -1)
+	}
+	for _, k := range r.committedVias {
+		g.AddViaStackDemand(k.x, k.y, k.l, k.l+1, -1)
+	}
+	r.committedWires, r.committedVias = nil, nil
+}
+
+func stepEnd(g *grid.Graph, k wireKey) geom.Point {
+	if g.Dir(k.layer) == grid.Horizontal {
+		return geom.Point{X: k.x + 1, Y: k.y}
+	}
+	return geom.Point{X: k.x, Y: k.y + 1}
+}
+
+// HasOverflow reports whether any wire or via edge the route occupies is
+// currently over capacity — the criterion that sends a net into the rip-up
+// and reroute iterations.
+func (r *NetRoute) HasOverflow(g *grid.Graph) bool {
+	wk, vk := r.canonical(g)
+	for _, k := range wk {
+		if g.WireDem(k.layer, k.x, k.y) > g.WireCap(k.layer, k.x, k.y) {
+			return true
+		}
+	}
+	for _, k := range vk {
+		if g.ViaDem(k.x, k.y, k.l) > g.ViaCap(k.l) {
+			return true
+		}
+	}
+	return false
+}
+
+// Wirelength returns the number of distinct wire edges the route uses.
+func (r *NetRoute) Wirelength(g *grid.Graph) int {
+	wk, _ := r.canonical(g)
+	return len(wk)
+}
+
+// ViaCount returns the number of distinct via edges the route uses.
+func (r *NetRoute) ViaCount(g *grid.Graph) int {
+	_, vk := r.canonical(g)
+	return len(vk)
+}
+
+// Validate checks that the routed geometry is connected and reaches every
+// pin of the net at its pin layer. pins is the list of (position, layer)
+// terminals, e.g. from the design net.
+func (r *NetRoute) Validate(g *grid.Graph, pins []geom.Point3) error {
+	wk, vk := r.canonical(g)
+	// Union-find over 3-D grid nodes touched by the route.
+	id := make(map[geom.Point3]int)
+	parent := []int{}
+	find := func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	node := func(p geom.Point3) int {
+		if i, ok := id[p]; ok {
+			return i
+		}
+		i := len(parent)
+		parent = append(parent, i)
+		id[p] = i
+		return i
+	}
+	for _, k := range wk {
+		a := geom.Point3{X: k.x, Y: k.y, Layer: k.layer}
+		var b geom.Point3
+		if g.Dir(k.layer) == grid.Horizontal {
+			b = geom.Point3{X: k.x + 1, Y: k.y, Layer: k.layer}
+		} else {
+			b = geom.Point3{X: k.x, Y: k.y + 1, Layer: k.layer}
+		}
+		union(node(a), node(b))
+	}
+	for _, k := range vk {
+		a := geom.Point3{X: k.x, Y: k.y, Layer: k.l}
+		b := geom.Point3{X: k.x, Y: k.y, Layer: k.l + 1}
+		union(node(a), node(b))
+	}
+	if len(pins) == 0 {
+		return nil
+	}
+	allSame := true
+	for _, p := range pins[1:] {
+		if p != pins[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		// A net whose pins coincide at one 3-D point is connected with no
+		// geometry at all.
+		return nil
+	}
+	first, ok := id[pins[0]]
+	if !ok {
+		return fmt.Errorf("route: pin %v not touched by route", pins[0])
+	}
+	for _, p := range pins[1:] {
+		i, ok := id[p]
+		if !ok {
+			return fmt.Errorf("route: pin %v not touched by route", p)
+		}
+		if find(i) != find(first) {
+			return fmt.Errorf("route: pin %v disconnected from pin %v", p, pins[0])
+		}
+	}
+	return nil
+}
+
+// PinTerminals maps a Steiner tree's pin nodes to their 3-D terminals.
+func PinTerminals(t *stt.Tree) []geom.Point3 {
+	var pins []geom.Point3
+	for i := range t.Nodes {
+		for _, l := range t.Nodes[i].PinLayers {
+			pins = append(pins, geom.Point3{X: t.Nodes[i].Pos.X, Y: t.Nodes[i].Pos.Y, Layer: l})
+		}
+	}
+	return pins
+}

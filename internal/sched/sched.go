@@ -1,0 +1,255 @@
+// Package sched implements the paper's heterogeneous task-graph scheduler
+// (Section III-B): task conflict graphs from bounding-box overlap, the
+// Algorithm-1 batch extraction that carves maximal conflict-free batches out
+// of a sorted task list, root-batch selection, and the conflict-edge
+// orientation that turns the conflict graph into an execution DAG (Fig. 6).
+// It also provides the six inter-net sorting schemes of Table IV.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+)
+
+// Scheme is an inter-net ordering strategy (Table IV).
+type Scheme int
+
+const (
+	// PinsAsc sorts by ascending pin count.
+	PinsAsc Scheme = iota
+	// PinsDesc sorts by descending pin count.
+	PinsDesc
+	// HPWLAsc sorts by ascending bounding-box half perimeter — the scheme
+	// the paper settles on (Section IV-C).
+	HPWLAsc
+	// HPWLDesc sorts by descending half perimeter.
+	HPWLDesc
+	// AreaAsc sorts by ascending bounding-box area.
+	AreaAsc
+	// AreaDesc sorts by descending bounding-box area.
+	AreaDesc
+)
+
+// Schemes lists all sorting schemes in Table IV order.
+var Schemes = []Scheme{PinsAsc, PinsDesc, HPWLAsc, HPWLDesc, AreaAsc, AreaDesc}
+
+func (s Scheme) String() string {
+	switch s {
+	case PinsAsc:
+		return "pins-asc"
+	case PinsDesc:
+		return "pins-desc"
+	case HPWLAsc:
+		return "hpwl-asc"
+	case HPWLDesc:
+		return "hpwl-desc"
+	case AreaAsc:
+		return "area-asc"
+	case AreaDesc:
+		return "area-desc"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// SortNets orders nets in place by the scheme, breaking ties by net ID so
+// every scheme is a deterministic total order.
+func SortNets(nets []*design.Net, s Scheme) {
+	key := func(n *design.Net) int {
+		switch s {
+		case PinsAsc:
+			return len(n.Pins)
+		case PinsDesc:
+			return -len(n.Pins)
+		case HPWLAsc:
+			return n.HPWL()
+		case HPWLDesc:
+			return -n.HPWL()
+		case AreaAsc:
+			return n.BBox().Area()
+		case AreaDesc:
+			return -n.BBox().Area()
+		}
+		return 0
+	}
+	sort.SliceStable(nets, func(i, j int) bool {
+		ki, kj := key(nets[i]), key(nets[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return nets[i].ID < nets[j].ID
+	})
+}
+
+// Task is one schedulable unit: a net (rip-up-and-reroute stage) or a whole
+// batch (pattern stage), identified by its position in the sorted task list.
+// Two tasks conflict when their bounding boxes overlap.
+type Task struct {
+	ID   int // index in the sorted task list (the paper's task ID)
+	BBox geom.Rect
+	// Payload lets callers attach the underlying net or batch.
+	Payload interface{}
+}
+
+// ExtractBatches repeatedly applies Algorithm 1 to the task list (already in
+// the desired sort order): each pass greedily collects tasks that do not
+// conflict with anything already in the batch, yielding near-maximal
+// independent sets. Every task lands in exactly one batch.
+func ExtractBatches(tasks []Task) [][]Task {
+	remaining := append([]Task(nil), tasks...)
+	var batches [][]Task
+	for len(remaining) > 0 {
+		var batch []Task
+		var rest []Task
+		var occupied []geom.Rect
+		for _, t := range remaining {
+			if conflictsAny(t.BBox, occupied) {
+				rest = append(rest, t)
+				continue
+			}
+			batch = append(batch, t)
+			occupied = append(occupied, t.BBox)
+		}
+		batches = append(batches, batch)
+		remaining = rest
+	}
+	return batches
+}
+
+func conflictsAny(r geom.Rect, occupied []geom.Rect) bool {
+	for _, o := range occupied {
+		if r.Overlaps(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Graph is the oriented task graph: Succ[i] lists the tasks that must wait
+// for task i, Indegree[i] the number of tasks i waits for.
+type Graph struct {
+	Tasks    []Task
+	Succ     [][]int
+	Indegree []int
+	// RootBatch flags the tasks selected into the independent root batch.
+	RootBatch []bool
+	// Edges is the number of conflict pairs oriented.
+	Edges int
+}
+
+// BuildGraph constructs the conflict graph over tasks (bounding-box overlap,
+// found with a coarse spatial binning) and orients every conflict edge with
+// the paper's two rules: root-batch tasks precede their non-root neighbors;
+// between two non-root tasks the smaller task ID goes first. The root batch
+// is the first Algorithm-1 batch. The result is acyclic by construction:
+// every edge either leaves the root batch or goes from a smaller to a larger
+// ID.
+func BuildGraph(tasks []Task, gridW, gridH int) *Graph {
+	g := &Graph{
+		Tasks:     tasks,
+		Succ:      make([][]int, len(tasks)),
+		Indegree:  make([]int, len(tasks)),
+		RootBatch: make([]bool, len(tasks)),
+	}
+	// Root batch: greedy independent set in task order (Algorithm 1, one pass).
+	var occupied []geom.Rect
+	for i, t := range tasks {
+		if !conflictsAny(t.BBox, occupied) {
+			g.RootBatch[i] = true
+			occupied = append(occupied, t.BBox)
+		}
+	}
+	for _, pair := range conflictPairs(tasks, gridW, gridH) {
+		i, j := pair[0], pair[1]
+		var from, to int
+		switch {
+		case g.RootBatch[i]:
+			from, to = i, j
+		case g.RootBatch[j]:
+			from, to = j, i
+		case i < j:
+			from, to = i, j
+		default:
+			from, to = j, i
+		}
+		g.Succ[from] = append(g.Succ[from], to)
+		g.Indegree[to]++
+		g.Edges++
+	}
+	return g
+}
+
+// conflictPairs finds all overlapping bbox pairs via binning: tasks are
+// registered in coarse grid bins; only pairs sharing a bin are tested.
+func conflictPairs(tasks []Task, gridW, gridH int) [][2]int {
+	const binShift = 4 // 16x16 G-cell bins
+	binsX := (geom.Max(gridW, 1) >> binShift) + 1
+	binsY := (geom.Max(gridH, 1) >> binShift) + 1
+	bins := make([][]int, binsX*binsY)
+	for i, t := range tasks {
+		r := t.BBox
+		for by := geom.Max(0, r.Lo.Y>>binShift); by <= (r.Hi.Y>>binShift) && by < binsY; by++ {
+			for bx := geom.Max(0, r.Lo.X>>binShift); bx <= (r.Hi.X>>binShift) && bx < binsX; bx++ {
+				bins[by*binsX+bx] = append(bins[by*binsX+bx], i)
+			}
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	for _, bin := range bins {
+		for a := 0; a < len(bin); a++ {
+			for b := a + 1; b < len(bin); b++ {
+				i, j := bin[a], bin[b]
+				if i > j {
+					i, j = j, i
+				}
+				key := [2]int{i, j}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if tasks[i].BBox.Overlaps(tasks[j].BBox) {
+					pairs = append(pairs, key)
+				}
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs
+}
+
+// TopoOrder returns a topological order of the graph; it panics if the
+// orientation produced a cycle, which the construction rules make
+// impossible short of a bug.
+func (g *Graph) TopoOrder() []int {
+	indeg := append([]int(nil), g.Indegree...)
+	queue := make([]int, 0, len(g.Tasks))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, len(g.Tasks))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != len(g.Tasks) {
+		panic("sched: task graph has a cycle")
+	}
+	return order
+}

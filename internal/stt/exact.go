@@ -1,0 +1,135 @@
+package stt
+
+import (
+	"sort"
+
+	"fastgr/internal/geom"
+)
+
+// Exact rectilinear Steiner minimal trees for small nets — the role FLUTE's
+// lookup tables play in CUGR ([17]; the published tables are not
+// redistributable, but for the 2-4 pin nets that dominate standard-cell
+// netlists exact construction is cheap): Hanan's theorem guarantees an RSMT
+// using only Hanan-grid points, and a net with k pins needs at most k-2
+// Steiner points, so enumerating Hanan subsets of size <= k-2 and taking
+// the best spanning tree is exact.
+
+// exactThreshold is the largest distinct-position count routed exactly;
+// larger nets fall back to Prim + Steinerization.
+const exactThreshold = 4
+
+// exactRSMT returns the points (pins first, chosen Steiner points appended)
+// and MST adjacency of an optimal rectilinear Steiner tree. It assumes
+// 2 <= len(pins) <= exactThreshold.
+func exactRSMT(pins []geom.Point) ([]geom.Point, [][]int) {
+	hanan := hananPoints(pins)
+	maxSteiner := len(pins) - 2
+
+	bestLen := -1
+	var bestPts []geom.Point
+	var bestAdj [][]int
+
+	try := func(steiner []geom.Point) {
+		pts := append(append([]geom.Point(nil), pins...), steiner...)
+		adj := primMST(pts)
+		length := 0
+		for u := range adj {
+			for _, v := range adj[u] {
+				if u < v {
+					length += geom.ManhattanDist(pts[u], pts[v])
+				}
+			}
+		}
+		if bestLen < 0 || length < bestLen {
+			bestLen = length
+			bestPts, bestAdj = pts, adj
+		}
+	}
+
+	try(nil)
+	if maxSteiner >= 1 {
+		for i := range hanan {
+			try([]geom.Point{hanan[i]})
+		}
+	}
+	if maxSteiner >= 2 {
+		for i := range hanan {
+			for j := i + 1; j < len(hanan); j++ {
+				try([]geom.Point{hanan[i], hanan[j]})
+			}
+		}
+	}
+	return pruneUselessSteiner(bestPts, bestAdj, len(pins))
+}
+
+// hananPoints enumerates the Hanan grid of the pins minus the pins
+// themselves, in deterministic order.
+func hananPoints(pins []geom.Point) []geom.Point {
+	xs := map[int]bool{}
+	ys := map[int]bool{}
+	onPin := map[geom.Point]bool{}
+	for _, p := range pins {
+		xs[p.X] = true
+		ys[p.Y] = true
+		onPin[p] = true
+	}
+	var xv, yv []int
+	for x := range xs {
+		xv = append(xv, x)
+	}
+	for y := range ys {
+		yv = append(yv, y)
+	}
+	sort.Ints(xv)
+	sort.Ints(yv)
+	var out []geom.Point
+	for _, x := range xv {
+		for _, y := range yv {
+			p := geom.Point{X: x, Y: y}
+			if !onPin[p] {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// pruneUselessSteiner removes Steiner points of degree <= 2: a degree-1
+// Steiner leaf never survives an optimal tree, and a degree-2 point just
+// splits an edge, constraining pattern routing for no benefit (contract it).
+func pruneUselessSteiner(pts []geom.Point, adj [][]int, numPins int) ([]geom.Point, [][]int) {
+	for {
+		victim := -1
+		for i := numPins; i < len(pts); i++ {
+			if len(adj[i]) <= 2 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return pts, adj
+		}
+		nbs := append([]int(nil), adj[victim]...)
+		for _, nb := range nbs {
+			removeEdge(adj, victim, nb)
+		}
+		if len(nbs) == 2 {
+			addEdge(adj, nbs[0], nbs[1])
+		}
+		// Swap-remove the victim, fixing indices of the moved node.
+		last := len(pts) - 1
+		if victim != last {
+			pts[victim] = pts[last]
+			adj[victim] = adj[last]
+			for _, nb := range adj[victim] {
+				for k, x := range adj[nb] {
+					if x == last {
+						adj[nb][k] = victim
+					}
+				}
+			}
+		}
+		pts = pts[:last]
+		adj = adj[:last]
+	}
+}

@@ -1,0 +1,121 @@
+package stt
+
+import (
+	"math"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+)
+
+// Prim-Dijkstra trade-off trees ([16], [18] in the paper): pure Prim
+// minimizes wirelength but can make source-to-sink paths long, pure
+// Dijkstra minimizes path lengths but wastes wire. The PD blend weights a
+// candidate edge (u,v) as
+//
+//	cost(v) = alpha * pathlen(u) + dist(u, v)
+//
+// with alpha in [0,1]: alpha=0 is Prim (the default Build), alpha=1 biases
+// fully toward shortest paths from the driver. Timing-driven global routing
+// flows pick intermediate alphas; BuildPD exposes the knob.
+
+// BuildPD constructs a Steiner tree with the Prim-Dijkstra trade-off rooted
+// at the net's first pin (the driver). alpha is clamped to [0,1]; alpha = 0
+// is equivalent to Build.
+func BuildPD(net *design.Net, alpha float64) *Tree {
+	if alpha <= 0 {
+		return Build(net)
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+
+	pos := make([]geom.Point, 0, len(net.Pins))
+	layers := make(map[geom.Point][]int, len(net.Pins))
+	for _, p := range net.Pins {
+		if _, ok := layers[p.Pos]; !ok {
+			pos = append(pos, p.Pos)
+		}
+		layers[p.Pos] = append(layers[p.Pos], p.Layer)
+	}
+
+	adj := pdTree(pos, alpha)
+	pos, adj = steinerize(pos, adj)
+
+	t := &Tree{NetID: net.ID, Nodes: make([]Node, len(pos))}
+	for i, p := range pos {
+		t.Nodes[i] = Node{ID: i, Pos: p, PinLayers: layers[p], Parent: -1}
+	}
+	t.rootAt(0, adj)
+	return t
+}
+
+// pdTree grows the tree from point 0 with the PD edge weight.
+func pdTree(pts []geom.Point, alpha float64) [][]int {
+	n := len(pts)
+	adj := make([][]int, n)
+	if n <= 1 {
+		return adj
+	}
+	inTree := make([]bool, n)
+	pathLen := make([]float64, n) // driver-to-node rectilinear path length
+	bestCost := make([]float64, n)
+	from := make([]int, n)
+	for i := range bestCost {
+		bestCost[i] = math.Inf(1)
+	}
+	bestCost[0] = 0
+	from[0] = -1
+	for k := 0; k < n; k++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (best < 0 || bestCost[i] < bestCost[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		if p := from[best]; p >= 0 {
+			adj[best] = append(adj[best], p)
+			adj[p] = append(adj[p], best)
+			pathLen[best] = pathLen[p] + float64(geom.ManhattanDist(pts[p], pts[best]))
+		}
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			c := alpha*pathLen[best] + float64(geom.ManhattanDist(pts[best], pts[i]))
+			if c < bestCost[i] {
+				bestCost[i] = c
+				from[i] = best
+			}
+		}
+	}
+	return adj
+}
+
+// PathLengths returns, per tree node, the rectilinear tree-path length from
+// the root — the metric PD trades wirelength against.
+func (t *Tree) PathLengths() []int {
+	out := make([]int, len(t.Nodes))
+	// Parents always precede children in a DFS from the root.
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Nodes[u].Children {
+			out[c] = out[u] + geom.ManhattanDist(t.Nodes[u].Pos, t.Nodes[c].Pos)
+			stack = append(stack, c)
+		}
+	}
+	return out
+}
+
+// MaxPathLength is the longest driver-to-node path in the tree.
+func (t *Tree) MaxPathLength() int {
+	mx := 0
+	for _, v := range t.PathLengths() {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}

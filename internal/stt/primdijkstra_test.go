@@ -1,0 +1,98 @@
+package stt
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+)
+
+func randomNet(rng *rand.Rand, pins int) *design.Net {
+	seen := map[geom.Point]bool{}
+	net := &design.Net{ID: 1, Name: "pd"}
+	for len(net.Pins) < pins {
+		p := geom.Point{X: rng.Intn(100), Y: rng.Intn(100)}
+		if !seen[p] {
+			seen[p] = true
+			net.Pins = append(net.Pins, design.Pin{Pos: p, Layer: 1})
+		}
+	}
+	return net
+}
+
+func TestBuildPDAlphaZeroEqualsBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 10; i++ {
+		net := randomNet(rng, 6)
+		a := Build(net)
+		b := BuildPD(net, 0)
+		if a.WL() != b.WL() {
+			t.Fatalf("alpha=0 PD differs from Build: %d vs %d", a.WL(), b.WL())
+		}
+	}
+}
+
+func TestBuildPDValidTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, alpha := range []float64{0.25, 0.5, 1.0, 2.0 /* clamped */} {
+		for i := 0; i < 10; i++ {
+			net := randomNet(rng, 3+rng.Intn(8))
+			tr := BuildPD(net, alpha)
+			if err := tr.Validate(net); err != nil {
+				t.Fatalf("alpha=%v: %v", alpha, err)
+			}
+		}
+	}
+}
+
+func TestPDTradeoffMonotonicity(t *testing.T) {
+	// The defining trade-off: raising alpha never lengthens the worst
+	// driver-to-sink path on average, and never shortens total wirelength.
+	// Individual nets can violate monotonicity (it is a heuristic), so the
+	// check is aggregated over many nets.
+	rng := rand.New(rand.NewSource(10))
+	var wl0, wl1, path0, path1 int
+	for i := 0; i < 60; i++ {
+		net := randomNet(rng, 7)
+		prim := BuildPD(net, 0)
+		dij := BuildPD(net, 1)
+		wl0 += prim.WL()
+		wl1 += dij.WL()
+		path0 += prim.MaxPathLength()
+		path1 += dij.MaxPathLength()
+	}
+	if wl1 < wl0 {
+		t.Fatalf("alpha=1 produced less total wirelength (%d) than Prim (%d)", wl1, wl0)
+	}
+	if path1 > path0 {
+		t.Fatalf("alpha=1 produced longer paths (%d) than Prim (%d)", path1, path0)
+	}
+	if wl1 == wl0 && path1 == path0 {
+		t.Fatal("alpha had no effect at all")
+	}
+}
+
+func TestPathLengths(t *testing.T) {
+	// Chain 0-(5,0)-(5,7): path lengths 0, 5, 12 from the root.
+	net := netOf(geom.Point{X: 0, Y: 0}, geom.Point{X: 5, Y: 0}, geom.Point{X: 5, Y: 7})
+	tr := Build(net)
+	pl := tr.PathLengths()
+	if pl[tr.Root] != 0 {
+		t.Fatal("root path length nonzero")
+	}
+	if tr.MaxPathLength() != 12 {
+		t.Fatalf("MaxPathLength = %d, want 12", tr.MaxPathLength())
+	}
+	_ = pl
+}
+
+func TestBuildPDDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := randomNet(rng, 9)
+	a := BuildPD(net, 0.5)
+	b := BuildPD(net, 0.5)
+	if a.WL() != b.WL() || len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("BuildPD nondeterministic")
+	}
+}

@@ -1,0 +1,361 @@
+// Package stt constructs rectilinear Steiner trees for multi-pin nets — the
+// first step of the paper's pattern routing planning stage (Fig. 5) — and
+// optimizes them with congestion-aware edge shifting. The tree's edges
+// become the two-pin nets that pattern routing solves; its rooted structure
+// defines the parent/child relations the dynamic program's bottom-children
+// cost (eq. 2) depends on.
+//
+// Construction is Prim's MST over the distinct pin positions under the
+// Manhattan metric followed by greedy Steinerization (median-point
+// insertion), a standard FLUTE-class approximation; the contest-grade exact
+// lookup tables are not reproducible offline, and the routers only consume
+// the tree topology.
+package stt
+
+import (
+	"fmt"
+	"math"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+)
+
+// Node is a vertex of a Steiner tree: a pin position or a Steiner point.
+type Node struct {
+	ID        int
+	Pos       geom.Point
+	PinLayers []int // layers of the net's pins at this position; empty for Steiner points
+	Parent    int   // -1 at the root
+	Children  []int
+}
+
+// IsPin reports whether the node carries at least one pin.
+func (n *Node) IsPin() bool { return len(n.PinLayers) > 0 }
+
+// Tree is a rooted rectilinear Steiner tree for one net.
+type Tree struct {
+	NetID int
+	Nodes []Node
+	Root  int
+}
+
+// Estimator supplies 2-D congestion estimates for edge shifting. It is
+// satisfied by *grid.Estimator2D.
+type Estimator interface {
+	HSeg(y, x1, x2 int) float64
+	VSeg(x, y1, y2 int) float64
+	LPathCost(a, b geom.Point) float64
+}
+
+// Build constructs the Steiner tree of a net, rooted at the node holding the
+// net's first pin. Duplicate pin positions are merged with their layers
+// collected on one node.
+func Build(net *design.Net) *Tree {
+	pos := make([]geom.Point, 0, len(net.Pins))
+	layers := make(map[geom.Point][]int, len(net.Pins))
+	for _, p := range net.Pins {
+		if _, ok := layers[p.Pos]; !ok {
+			pos = append(pos, p.Pos)
+		}
+		layers[p.Pos] = append(layers[p.Pos], p.Layer)
+	}
+
+	var adj [][]int
+	if len(pos) <= exactThreshold {
+		// Exact RSMT for the 2-4 pin nets that dominate netlists (the role
+		// FLUTE's lookup tables play in CUGR).
+		pos, adj = exactRSMT(pos)
+	} else {
+		adj = primMST(pos)
+		pos, adj = steinerize(pos, adj)
+	}
+
+	t := &Tree{NetID: net.ID, Nodes: make([]Node, len(pos))}
+	for i, p := range pos {
+		t.Nodes[i] = Node{ID: i, Pos: p, PinLayers: layers[p], Parent: -1}
+	}
+	t.rootAt(0, adj)
+	return t
+}
+
+// primMST returns the MST adjacency lists over pts (Manhattan metric).
+// O(n^2), fine for net fan-outs.
+func primMST(pts []geom.Point) [][]int {
+	n := len(pts)
+	adj := make([][]int, n)
+	if n <= 1 {
+		return adj
+	}
+	inTree := make([]bool, n)
+	dist := make([]int, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.MaxInt
+	}
+	dist[0] = 0
+	from[0] = -1
+	for k := 0; k < n; k++ {
+		best, bestD := -1, math.MaxInt
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		inTree[best] = true
+		if from[best] >= 0 {
+			adj[best] = append(adj[best], from[best])
+			adj[from[best]] = append(adj[from[best]], best)
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := geom.ManhattanDist(pts[best], pts[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = best
+				}
+			}
+		}
+	}
+	return adj
+}
+
+func median3(a, b, c int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// steinerize greedily inserts median Steiner points: for a node u with
+// neighbors v and w, the component-wise median s of (u,v,w) replaces the two
+// direct edges with a star through s whenever that shortens total length.
+func steinerize(pts []geom.Point, adj [][]int) ([]geom.Point, [][]int) {
+	improved := true
+	for pass := 0; improved && pass < 8; pass++ {
+		improved = false
+		for u := 0; u < len(pts); u++ {
+			nbs := adj[u]
+			if len(nbs) < 2 {
+				continue
+			}
+			bestGain := 0
+			bestV, bestW := -1, -1
+			var bestS geom.Point
+			for i := 0; i < len(nbs); i++ {
+				for j := i + 1; j < len(nbs); j++ {
+					v, w := nbs[i], nbs[j]
+					s := geom.Point{
+						X: median3(pts[u].X, pts[v].X, pts[w].X),
+						Y: median3(pts[u].Y, pts[v].Y, pts[w].Y),
+					}
+					if s == pts[u] || s == pts[v] || s == pts[w] {
+						continue
+					}
+					gain := geom.ManhattanDist(pts[u], pts[v]) +
+						geom.ManhattanDist(pts[u], pts[w]) -
+						geom.ManhattanDist(pts[u], s) -
+						geom.ManhattanDist(s, pts[v]) -
+						geom.ManhattanDist(s, pts[w])
+					if gain > bestGain {
+						bestGain, bestV, bestW, bestS = gain, v, w, s
+					}
+				}
+			}
+			if bestGain > 0 {
+				sIdx := len(pts)
+				pts = append(pts, bestS)
+				adj = append(adj, nil)
+				removeEdge(adj, u, bestV)
+				removeEdge(adj, u, bestW)
+				addEdge(adj, u, sIdx)
+				addEdge(adj, sIdx, bestV)
+				addEdge(adj, sIdx, bestW)
+				improved = true
+			}
+		}
+	}
+	return pts, adj
+}
+
+func addEdge(adj [][]int, a, b int) {
+	adj[a] = append(adj[a], b)
+	adj[b] = append(adj[b], a)
+}
+
+func removeEdge(adj [][]int, a, b int) {
+	adj[a] = removeFrom(adj[a], b)
+	adj[b] = removeFrom(adj[b], a)
+}
+
+func removeFrom(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// rootAt orients the adjacency structure into a rooted tree via iterative DFS.
+func (t *Tree) rootAt(root int, adj [][]int) {
+	t.Root = root
+	for i := range t.Nodes {
+		t.Nodes[i].Parent = -1
+		t.Nodes[i].Children = nil
+	}
+	visited := make([]bool, len(t.Nodes))
+	stack := []int{root}
+	visited[root] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				t.Nodes[v].Parent = u
+				t.Nodes[u].Children = append(t.Nodes[u].Children, v)
+				stack = append(stack, v)
+			}
+		}
+	}
+}
+
+// adjacency reconstructs undirected adjacency lists from the rooted form.
+func (t *Tree) adjacency() [][]int {
+	adj := make([][]int, len(t.Nodes))
+	for i := range t.Nodes {
+		if p := t.Nodes[i].Parent; p >= 0 {
+			addEdge(adj, i, p)
+		}
+	}
+	return adj
+}
+
+// WL returns the total rectilinear length of the tree's edges.
+func (t *Tree) WL() int {
+	total := 0
+	for i := range t.Nodes {
+		if p := t.Nodes[i].Parent; p >= 0 {
+			total += geom.ManhattanDist(t.Nodes[i].Pos, t.Nodes[p].Pos)
+		}
+	}
+	return total
+}
+
+// NumEdges returns the number of two-pin nets the tree decomposes into.
+func (t *Tree) NumEdges() int { return len(t.Nodes) - 1 }
+
+// BBox returns the bounding box over all tree nodes.
+func (t *Tree) BBox() geom.Rect {
+	r := geom.NewRect(t.Nodes[0].Pos, t.Nodes[0].Pos)
+	for _, n := range t.Nodes[1:] {
+		r = r.Extend(n.Pos)
+	}
+	return r
+}
+
+// Validate checks the rooted-tree invariants: exactly one root, every
+// non-root reachable from the root through consistent parent/child links,
+// and every pin position present.
+func (t *Tree) Validate(net *design.Net) error {
+	if t.Root < 0 || t.Root >= len(t.Nodes) {
+		return fmt.Errorf("stt: root %d out of range", t.Root)
+	}
+	if t.Nodes[t.Root].Parent != -1 {
+		return fmt.Errorf("stt: root has a parent")
+	}
+	seen := make([]bool, len(t.Nodes))
+	stack := []int{t.Root}
+	count := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			return fmt.Errorf("stt: node %d visited twice (cycle)", u)
+		}
+		seen[u] = true
+		count++
+		for _, c := range t.Nodes[u].Children {
+			if t.Nodes[c].Parent != u {
+				return fmt.Errorf("stt: child %d of %d has parent %d", c, u, t.Nodes[c].Parent)
+			}
+			stack = append(stack, c)
+		}
+	}
+	if count != len(t.Nodes) {
+		return fmt.Errorf("stt: %d of %d nodes reachable from root", count, len(t.Nodes))
+	}
+	have := make(map[geom.Point]bool, len(t.Nodes))
+	for i := range t.Nodes {
+		if t.Nodes[i].IsPin() {
+			have[t.Nodes[i].Pos] = true
+		}
+	}
+	for _, p := range net.Pins {
+		if !have[p.Pos] {
+			return fmt.Errorf("stt: pin at %v missing from tree", p.Pos)
+		}
+	}
+	return nil
+}
+
+// Shift performs congestion-aware edge shifting (the planning optimization
+// of Fig. 5): each Steiner point may slide to a Hanan candidate of its
+// neighbors when the estimated congestion cost of its incident edges drops
+// without increasing tree wirelength.
+func (t *Tree) Shift(est Estimator) {
+	for pass := 0; pass < 2; pass++ {
+		moved := false
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			if n.IsPin() {
+				continue
+			}
+			var nbs []int
+			if n.Parent >= 0 {
+				nbs = append(nbs, n.Parent)
+			}
+			nbs = append(nbs, n.Children...)
+			if len(nbs) == 0 {
+				continue
+			}
+			curWL, curCost := t.starCost(est, n.Pos, nbs)
+			bestPos, bestCost := n.Pos, curCost
+			for _, a := range nbs {
+				for _, b := range nbs {
+					cand := geom.Point{X: t.Nodes[a].Pos.X, Y: t.Nodes[b].Pos.Y}
+					if cand == n.Pos {
+						continue
+					}
+					wl, cost := t.starCost(est, cand, nbs)
+					if wl <= curWL && cost < bestCost-1e-9 {
+						bestPos, bestCost = cand, cost
+					}
+				}
+			}
+			if bestPos != n.Pos {
+				n.Pos = bestPos
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// starCost evaluates the total wirelength and estimated congestion cost of
+// connecting pos to each neighbor with its cheaper L path.
+func (t *Tree) starCost(est Estimator, pos geom.Point, nbs []int) (wl int, cost float64) {
+	for _, nb := range nbs {
+		q := t.Nodes[nb].Pos
+		wl += geom.ManhattanDist(pos, q)
+		cost += est.LPathCost(pos, q)
+	}
+	return wl, cost
+}

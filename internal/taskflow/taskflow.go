@@ -1,0 +1,233 @@
+// Package taskflow executes oriented task graphs, playing the role of the
+// Taskflow C++ library the paper uses for the rip-up-and-reroute stage: a
+// dependency-respecting worker-pool executor plus deterministic makespan
+// models for the two parallelization strategies the paper compares — the
+// task-graph schedule (FastGR) and the widely adopted batch-barrier
+// schedule (the CPU baseline).
+package taskflow
+
+import (
+	"sync"
+	"time"
+
+	"fastgr/internal/sched"
+)
+
+// Run executes fn for every task of the graph with the given number of
+// goroutine workers, never running a task before all its predecessors have
+// finished. Tasks whose bounding boxes do not conflict may run concurrently;
+// because conflicts were defined on the (inflated) regions each task
+// touches, concurrent tasks commute and the outcome is deterministic.
+func Run(g *sched.Graph, workers int, fn func(task int)) {
+	n := len(g.Tasks)
+	if n == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	indeg := append([]int(nil), g.Indegree...)
+	ready := make(chan int, n)
+	for i, d := range indeg {
+		if d == 0 {
+			ready <- i
+		}
+	}
+
+	var mu sync.Mutex
+	done := 0
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for t := range ready {
+				fn(t)
+				mu.Lock()
+				done++
+				for _, v := range g.Succ[t] {
+					indeg[v]--
+					if indeg[v] == 0 {
+						ready <- v
+					}
+				}
+				if done == n {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if done != n {
+		panic("taskflow: executor deadlocked (cyclic graph?)")
+	}
+}
+
+// Makespan simulates critical-path-first list scheduling of the task graph
+// on P workers with the given per-task durations: a task becomes ready when
+// its last predecessor finishes, and among ready tasks the one heading the
+// longest remaining dependency chain starts first (highest-level-first, the
+// textbook DAG scheduling heuristic). This is the deterministic model behind
+// the reported parallel-CPU times (see DESIGN.md).
+func Makespan(g *sched.Graph, durations []time.Duration, workers int) time.Duration {
+	n := len(g.Tasks)
+	if n == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Upward rank: longest path from the task to any sink, inclusive.
+	rank := make([]time.Duration, n)
+	order := g.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		var best time.Duration
+		for _, v := range g.Succ[u] {
+			if rank[v] > best {
+				best = rank[v]
+			}
+		}
+		rank[u] = best + durations[u]
+	}
+
+	indeg := append([]int(nil), g.Indegree...)
+	readyAt := make([]time.Duration, n) // max finish time of predecessors
+	finish := make([]time.Duration, n)
+
+	type item struct {
+		task int
+		at   time.Duration
+	}
+	ready := make([]item, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, item{i, 0})
+		}
+	}
+	workerFree := make([]time.Duration, workers)
+	var makespan time.Duration
+	scheduled := 0
+	for scheduled < n {
+		if len(ready) == 0 {
+			panic("taskflow: makespan model starved (cyclic graph?)")
+		}
+		// Pick the schedulable task with the highest upward rank. A task can
+		// start at max(its ready time, earliest worker free time); among
+		// tasks startable at the earliest such instant, prefer the longest
+		// remaining chain (ties by task ID for determinism).
+		w := 0
+		for k := 1; k < workers; k++ {
+			if workerFree[k] < workerFree[w] {
+				w = k
+			}
+		}
+		// Earliest possible start over all ready tasks.
+		bestStart := time.Duration(1<<63 - 1)
+		for _, it := range ready {
+			start := workerFree[w]
+			if it.at > start {
+				start = it.at
+			}
+			if start < bestStart {
+				bestStart = start
+			}
+		}
+		sel := -1
+		for idx, it := range ready {
+			start := workerFree[w]
+			if it.at > start {
+				start = it.at
+			}
+			if start != bestStart {
+				continue
+			}
+			if sel < 0 || rank[it.task] > rank[ready[sel].task] ||
+				(rank[it.task] == rank[ready[sel].task] && it.task < ready[sel].task) {
+				sel = idx
+			}
+		}
+		it := ready[sel]
+		ready = append(ready[:sel], ready[sel+1:]...)
+
+		start := workerFree[w]
+		if it.at > start {
+			start = it.at
+		}
+		end := start + durations[it.task]
+		workerFree[w] = end
+		finish[it.task] = end
+		if end > makespan {
+			makespan = end
+		}
+		scheduled++
+		for _, v := range g.Succ[it.task] {
+			if finish[it.task] > readyAt[v] {
+				readyAt[v] = finish[it.task]
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, item{v, readyAt[v]})
+			}
+		}
+	}
+	return makespan
+}
+
+// BatchMakespan models the baseline batch-barrier strategy the paper calls
+// the "widely adopted batch-based parallelization": batches execute one
+// after another with a full barrier between them, and inside a batch tasks
+// are statically partitioned round-robin over P workers (OpenMP-style
+// static scheduling) — no work stealing, so a skewed partition leaves
+// workers idle at the barrier.
+func BatchMakespan(batches [][]int, durations []time.Duration, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	var total time.Duration
+	for _, batch := range batches {
+		load := make([]time.Duration, workers)
+		for i, t := range batch {
+			load[i%workers] += durations[t]
+		}
+		var batchEnd time.Duration
+		for _, l := range load {
+			if l > batchEnd {
+				batchEnd = l
+			}
+		}
+		total += batchEnd
+	}
+	return total
+}
+
+// CriticalPath returns the graph's dependency-chain lower bound — no
+// schedule on any worker count can beat it.
+func CriticalPath(g *sched.Graph, durations []time.Duration) time.Duration {
+	order := g.TopoOrder()
+	longest := make([]time.Duration, len(g.Tasks))
+	var cp time.Duration
+	for _, u := range order {
+		end := longest[u] + durations[u]
+		if end > cp {
+			cp = end
+		}
+		for _, v := range g.Succ[u] {
+			if end > longest[v] {
+				longest[v] = end
+			}
+		}
+	}
+	return cp
+}
+
+// SumDurations is the sequential (one worker) execution time.
+func SumDurations(durations []time.Duration) time.Duration {
+	var s time.Duration
+	for _, d := range durations {
+		s += d
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastgr/internal/core"
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+	"fastgr/internal/route"
+	"fastgr/internal/stt"
+)
+
+func routedResult(t *testing.T) *core.Result {
+	t.Helper()
+	d := design.MustGenerate("18test5m", 0.003)
+	opt := core.DefaultOptions(core.FastGRL)
+	opt.T1, opt.T2 = 5, 27
+	res, err := core.Route(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCongestionSVG(t *testing.T) {
+	res := routedResult(t)
+	var buf bytes.Buffer
+	if err := WriteCongestionSVG(&buf, res.Grid); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	if !strings.Contains(out, "<rect") {
+		t.Fatal("no heat cells rendered despite committed demand")
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := WriteCongestionSVG(&buf2, res.Grid); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("congestion SVG not deterministic")
+	}
+}
+
+func TestRouteSVG(t *testing.T) {
+	res := routedResult(t)
+	n := res.Design.Nets[0]
+	var buf bytes.Buffer
+	pins := route.PinTerminals(res.Trees[n.ID])
+	if err := WriteRouteSVG(&buf, res.Grid, []*route.NetRoute{res.Routes[n.ID]}, pins); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<line") {
+		t.Fatal("no wires rendered")
+	}
+	if !strings.Contains(out, "stroke=\""+LayerColor(1)+"\"") &&
+		!strings.Contains(out, "stroke=\""+LayerColor(2)+"\"") &&
+		!strings.Contains(out, "stroke=\""+LayerColor(3)+"\"") {
+		t.Fatal("no layer colors present")
+	}
+	// Nil routes are skipped, not fatal.
+	var buf2 bytes.Buffer
+	if err := WriteRouteSVG(&buf2, res.Grid, []*route.NetRoute{nil}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSVG(t *testing.T) {
+	net := &design.Net{ID: 1, Name: "n", Pins: []design.Pin{
+		{Pos: geom.Point{X: 0, Y: 0}, Layer: 1},
+		{Pos: geom.Point{X: 10, Y: 0}, Layer: 1},
+		{Pos: geom.Point{X: 5, Y: 8}, Layer: 1},
+	}}
+	tree := stt.Build(net)
+	var buf bytes.Buffer
+	if err := WriteTreeSVG(&buf, 16, 16, tree); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<rect x=") < 3 {
+		t.Fatal("pin markers missing")
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Fatal("Steiner point marker missing (this net has one at (5,0))")
+	}
+}
+
+func TestLayerColorCycles(t *testing.T) {
+	if LayerColor(1) == "" || LayerColor(1) != LayerColor(11) {
+		t.Fatal("layer colors should cycle every 10 layers")
+	}
+	if LayerColor(1) == LayerColor(2) {
+		t.Fatal("adjacent layers share a color")
+	}
+}
