@@ -8,6 +8,7 @@
 package fastgr_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -166,6 +167,61 @@ func BenchmarkMazeRoute(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkPatternStageExec measures host-parallel batch pattern solving:
+// the same batch solved by 1, 2 and 4 executor workers. Results are
+// bit-identical across sub-benchmarks; only wall-clock moves.
+func BenchmarkPatternStageExec(b *testing.B) {
+	g, trees := microSetup(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := patterngpu.New(gpu.RTX3090(), pattern.Config{Mode: pattern.LShape})
+			r.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.RouteBatch(g, trees)
+			}
+		})
+	}
+}
+
+// BenchmarkMazeScratch compares repeated RouteNet calls on the same windows
+// with a fresh search state per call (the seed behaviour) against one
+// reusable maze.Search — the allocs/op column is the point.
+func BenchmarkMazeScratch(b *testing.B) {
+	d := design.MustGenerate("18test5m", 0.003)
+	g := grid.NewFromDesign(d)
+	nets := d.Nets[:50]
+	pins := make([][]geom.Point3, len(nets))
+	wins := make([]geom.Rect, len(nets))
+	for i, n := range nets {
+		pins[i] = route.PinTerminals(stt.Build(n))
+		wins[i] = n.BBox().Inflate(4).ClampTo(g.W, g.H)
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range nets {
+				if _, _, err := maze.RouteNet(g, nets[j].ID, pins[j], wins[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		s := maze.NewSearch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range nets {
+				if _, _, err := s.RouteNet(g, nets[j].ID, pins[j], wins[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkSteinerTree measures tree construction plus edge shifting.

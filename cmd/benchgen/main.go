@@ -1,11 +1,14 @@
 // Command benchgen generates the synthetic ICCAD-2019-style benchmarks,
-// prints Table III, and optionally serializes a design to a file.
+// prints Table III, and optionally serializes a design to a file. It also
+// measures the host-parallel execution micro-benchmarks and records them as
+// JSON, so the repository carries a perf trajectory baseline.
 //
 // Usage:
 //
 //	benchgen -list
 //	benchgen -table3 -scale 0.01
 //	benchgen -design 19test7m -scale 0.02 -o 19test7m.txt
+//	benchgen -hostpar -o BENCH_hostpar.json
 package main
 
 import (
@@ -19,15 +22,20 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list benchmark names")
-		table3 = flag.Bool("table3", false, "print Table III (benchmark statistics)")
-		name   = flag.String("design", "", "generate this benchmark")
-		scale  = flag.Float64("scale", 0.01, "benchmark scale in (0,1]")
-		out    = flag.String("o", "", "write the generated design to this file (default stdout)")
+		list    = flag.Bool("list", false, "list benchmark names")
+		table3  = flag.Bool("table3", false, "print Table III (benchmark statistics)")
+		name    = flag.String("design", "", "generate this benchmark")
+		scale   = flag.Float64("scale", 0.01, "benchmark scale in (0,1]")
+		out     = flag.String("o", "", "write the output to this file (default stdout)")
+		hostpar = flag.Bool("hostpar", false, "measure host-parallel execution benchmarks and emit JSON")
 	)
 	flag.Parse()
 
 	switch {
+	case *hostpar:
+		if err := runHostpar(*out); err != nil {
+			fatal(err)
+		}
 	case *list:
 		for _, n := range design.AllNames() {
 			spec, _ := design.SpecByName(n)

@@ -36,6 +36,7 @@ func main() {
 		noSel      = flag.Bool("no-selection", false, "apply the hybrid kernel to every net (FastGRH only)")
 		guides     = flag.String("guides", "", "write routing guides to this file")
 		evalDR     = flag.Bool("dr", false, "evaluate the solution with the detailed-routing track assigner")
+		workers    = flag.Int("exec-workers", 0, "host worker goroutines executing the router (0 = library default); never changes the reported result")
 	)
 	flag.Parse()
 
@@ -51,6 +52,9 @@ func main() {
 	opt := core.DefaultOptions(variant)
 	opt.RRRIters = *iters
 	opt.SelectionOff = *noSel
+	if *workers > 0 {
+		opt.ExecWorkers = *workers
+	}
 	if s, ok := parseScheme(*scheme); ok {
 		opt.Scheme = s
 	} else {

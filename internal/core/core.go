@@ -23,11 +23,11 @@ import (
 	"time"
 
 	"fastgr/internal/design"
-	"fastgr/internal/geom"
 	"fastgr/internal/gpu"
 	"fastgr/internal/grid"
 	"fastgr/internal/maze"
 	"fastgr/internal/metrics"
+	"fastgr/internal/par"
 	"fastgr/internal/pattern"
 	"fastgr/internal/patterngpu"
 	"fastgr/internal/route"
@@ -93,8 +93,11 @@ type Options struct {
 	// Workers is the modeled CPU worker count for parallel-RRR makespans
 	// (paper host: 16 cores).
 	Workers int
-	// ExecWorkers is the number of real goroutines used to execute the task
-	// graph (functional parallelism; does not affect reported times).
+	// ExecWorkers is the number of real goroutines used to execute the
+	// pipeline's parallel sections — planning, batch pattern solving, the
+	// overflow scan and the rip-up task graph. Functional parallelism only:
+	// results and all reported (modeled) times are bit-identical for every
+	// worker count; only the wall-clock columns change.
 	ExecWorkers int
 	// Device is the simulated GPU; CPU models the host.
 	Device gpu.Spec
@@ -196,6 +199,7 @@ type runner struct {
 	opt Options
 
 	g      *grid.Graph
+	pool   *par.Pool
 	trees  []*stt.Tree
 	routes []*route.NetRoute
 	rep    Report
@@ -203,6 +207,7 @@ type runner struct {
 
 func (r *runner) run() (*Result, error) {
 	r.g = grid.NewFromDesign(r.d)
+	r.pool = par.NewPool(r.opt.ExecWorkers)
 	r.rep.Design = r.d.Name
 	r.rep.Variant = r.opt.Variant.String()
 
@@ -223,7 +228,9 @@ func (r *runner) run() (*Result, error) {
 }
 
 // plan builds and congestion-shifts the Steiner tree of every net (the
-// pattern routing planning box of Fig. 5).
+// pattern routing planning box of Fig. 5). Nets are independent — the
+// estimator is a read-only snapshot and each net writes only its own tree
+// slot — so construction fans out over the executor pool.
 func (r *runner) plan() {
 	start := time.Now()
 	est := r.g.Estimator2D()
@@ -235,13 +242,14 @@ func (r *runner) plan() {
 	}
 	r.trees = make([]*stt.Tree, maxID+1)
 	r.routes = make([]*route.NetRoute, maxID+1)
-	for _, n := range r.d.Nets {
+	r.pool.For(len(r.d.Nets), func(_, i int) {
+		n := r.d.Nets[i]
 		t := stt.Build(n)
 		if !r.opt.NoEdgeShift {
 			t.Shift(est)
 		}
 		r.trees[n.ID] = t
-	}
+	})
 	r.rep.Times.PlanWall = time.Since(start)
 }
 
@@ -296,8 +304,10 @@ func (r *runner) patternStage() {
 		r.rep.Times.Pattern = r.rep.PatternSeqTime
 	default:
 		// GPU-friendly pattern routing: one kernel per batch, one block per
-		// net (Fig. 7).
+		// net (Fig. 7). Host workers solve the batch's nets concurrently;
+		// commits stay in batch order below.
 		router := patterngpu.New(r.opt.Device, cfg)
+		router.Workers = r.pool.Workers()
 		for _, batch := range batches {
 			trees := make([]*stt.Tree, len(batch))
 			nets := make([]*design.Net, len(batch))
@@ -332,6 +342,15 @@ func (r *runner) rrrStage() error {
 		r.g.EnableHistory()
 	}
 
+	// One maze scratch per executor worker, reused across nets and
+	// iterations: the search hot path then allocates nothing but the routes
+	// it returns. Worker ids come from the executors below, which guarantee
+	// a worker id is never used by two goroutines at once.
+	searches := make([]*maze.Search, r.pool.Workers())
+	for i := range searches {
+		searches[i] = maze.NewSearch()
+	}
+
 	for iter := 0; iter < r.opt.RRRIters; iter++ {
 		violating := r.violatingNets()
 		if iter == 0 {
@@ -360,12 +379,12 @@ func (r *runner) rrrStage() error {
 		expansions := make([]int64, len(tasks))
 		var errMu sync.Mutex
 		var firstErr error
-		work := func(ti int) {
+		work := func(worker, ti int) {
 			n := tasks[ti].Payload.(*design.Net)
 			old := r.routes[n.ID]
 			old.Uncommit(r.g)
 			pins := route.PinTerminals(r.trees[n.ID])
-			nr, st, err := maze.RouteNet(r.g, n.ID, pins, tasks[ti].BBox)
+			nr, st, err := searches[worker].RouteNet(r.g, n.ID, pins, tasks[ti].BBox)
 			if err != nil {
 				// Restore the old route so the grid stays consistent.
 				old.Commit(r.g)
@@ -383,16 +402,17 @@ func (r *runner) rrrStage() error {
 		}
 
 		if r.opt.Variant == CUGR {
-			// Batch-barrier strategy: batches execute in order; tasks inside
-			// a batch are independent (executed sequentially here, modeled
-			// as P-worker parallel below).
+			// Batch-barrier strategy: batches execute in order with a full
+			// barrier between them; tasks inside a batch have disjoint maze
+			// windows and run on the worker pool (modeled as P-worker
+			// parallel below either way).
 			for _, batch := range sched.ExtractBatches(tasks) {
-				for _, task := range batch {
-					work(task.ID)
-				}
+				r.pool.For(len(batch), func(worker, bi int) {
+					work(worker, batch[bi].ID)
+				})
 			}
 		} else {
-			taskflow.Run(graph, geom.Max(1, r.opt.ExecWorkers), work)
+			taskflow.RunWorkers(graph, r.pool.Workers(), work)
 		}
 		if firstErr != nil {
 			return fmt.Errorf("core: rip-up iteration %d: %w", iter, firstErr)
@@ -442,11 +462,19 @@ func (r *runner) rrrStage() error {
 }
 
 // violatingNets returns the nets whose routes cross an over-capacity edge.
+// The scan reads only the grid and each net's own route, so it fans out over
+// the pool; the result list is assembled in net order to stay deterministic.
 func (r *runner) violatingNets() []*design.Net {
+	flags := make([]bool, len(r.d.Nets))
+	r.pool.For(len(r.d.Nets), func(_, i int) {
+		if rt := r.routes[r.d.Nets[i].ID]; rt != nil && rt.HasOverflow(r.g) {
+			flags[i] = true
+		}
+	})
 	var out []*design.Net
-	for _, n := range r.d.Nets {
-		if rt := r.routes[n.ID]; rt != nil && rt.HasOverflow(r.g) {
-			out = append(out, n)
+	for i, f := range flags {
+		if f {
+			out = append(out, r.d.Nets[i])
 		}
 	}
 	return out

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"fastgr/internal/design"
+)
+
+// TestExecWorkersDeterminism is the contract of the host-parallel execution
+// layer: ExecWorkers is functional parallelism only, so for every variant
+// the paper-facing outputs — quality, the modeled stage times, the per-net
+// routed geometry and all scheduler statistics — must be byte-for-byte
+// identical across worker counts. Only the wall-clock columns may differ.
+func TestExecWorkersDeterminism(t *testing.T) {
+	d := design.MustGenerate("18test5m", testScale)
+	for _, v := range []Variant{CUGR, FastGRL, FastGRH} {
+		var base *Result
+		var baseWorkers int
+		for _, w := range []int{1, 2, 8} {
+			opt := DefaultOptions(v)
+			opt.T1, opt.T2 = 4, 40
+			opt.ExecWorkers = w
+			res, err := Route(d, opt)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", v, w, err)
+			}
+			if base == nil {
+				base, baseWorkers = res, w
+				if res.Report.NetsToRipup == 0 {
+					t.Fatalf("%v: no rip-up work; determinism test exercises nothing", v)
+				}
+				continue
+			}
+			a, b := base.Report, res.Report
+			if a.Quality != b.Quality {
+				t.Errorf("%v: quality differs between %d and %d workers:\n%+v\nvs\n%+v",
+					v, baseWorkers, w, a.Quality, b.Quality)
+			}
+			if a.Times.Pattern != b.Times.Pattern || a.Times.Maze != b.Times.Maze ||
+				a.Times.Total != b.Times.Total {
+				t.Errorf("%v: modeled stage times differ between %d and %d workers:\n"+
+					"PATTERN %v vs %v, MAZE %v vs %v, TOTAL %v vs %v",
+					v, baseWorkers, w, a.Times.Pattern, b.Times.Pattern,
+					a.Times.Maze, b.Times.Maze, a.Times.Total, b.Times.Total)
+			}
+			if a.PatternSeqOps != b.PatternSeqOps || a.PatternSeqTime != b.PatternSeqTime ||
+				a.PatternBatches != b.PatternBatches ||
+				a.HybridEdges != b.HybridEdges || a.TotalEdges != b.TotalEdges {
+				t.Errorf("%v: pattern accounting differs between %d and %d workers", v, baseWorkers, w)
+			}
+			if a.NetsToRipup != b.NetsToRipup ||
+				a.MazeTaskGraphTime != b.MazeTaskGraphTime || a.MazeBatchTime != b.MazeBatchTime ||
+				!reflect.DeepEqual(a.RRR, b.RRR) {
+				t.Errorf("%v: RRR statistics differ between %d and %d workers:\n%+v\nvs\n%+v",
+					v, baseWorkers, w, a.RRR, b.RRR)
+			}
+			for _, n := range d.Nets {
+				ra, rb := base.Routes[n.ID], res.Routes[n.ID]
+				if (ra == nil) != (rb == nil) {
+					t.Fatalf("%v: net %s routed in one run only", v, n.Name)
+				}
+				if ra != nil && !reflect.DeepEqual(ra.Paths, rb.Paths) {
+					t.Fatalf("%v: net %s geometry differs between %d and %d workers:\n%+v\nvs\n%+v",
+						v, n.Name, baseWorkers, w, ra.Paths, rb.Paths)
+				}
+			}
+		}
+	}
+}
+
+// TestExecWorkersDeterminismWithHistory covers the negotiated-congestion
+// path too: history bumps depend on overflow state after each iteration,
+// which must itself be worker-count independent.
+func TestExecWorkersDeterminismWithHistory(t *testing.T) {
+	d := design.MustGenerate("18test5m", testScale)
+	var base *Result
+	for _, w := range []int{1, 8} {
+		opt := DefaultOptions(FastGRL)
+		opt.T1, opt.T2 = 4, 40
+		opt.HistoryRRR = true
+		opt.ExecWorkers = w
+		res, err := Route(d, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if base.Report.Quality != res.Report.Quality ||
+			base.Report.Times.Maze != res.Report.Times.Maze {
+			t.Fatalf("history RRR not worker-count deterministic:\n%+v\nvs\n%+v",
+				base.Report, res.Report)
+		}
+	}
+}

@@ -4,10 +4,16 @@
 // reconnects a net pin by pin into a routed tree. Unlike pattern routing it
 // explores every path inside the window, which is what lets rerouting
 // resolve the violations pattern routing leaves behind.
+//
+// The search state (distance/visited/parent arrays, heap storage, the
+// connected and target sets) lives in a reusable Search scratch object:
+// rip-up-and-reroute calls RouteNet thousands of times, and reusing one
+// Search per executor worker keeps the hot path allocation-free. Stale state
+// is invalidated by epoch stamping instead of clearing, so rebinding the
+// scratch to a new window costs O(1) beyond any capacity growth.
 package maze
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -23,12 +29,94 @@ type Stats struct {
 	Pushes     int64 // heap pushes
 }
 
+// RouteNet maze-routes a whole net inside the window with a fresh scratch
+// object. Callers routing many nets should allocate one Search per worker
+// and use its RouteNet method instead.
+func RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window geom.Rect) (*route.NetRoute, Stats, error) {
+	return NewSearch().RouteNet(g, netID, pins, window)
+}
+
+// Search is the reusable maze-routing scratch: windowed Dijkstra state plus
+// the per-net connected/target sets. A Search may be reused across nets,
+// windows and grids; it must not be used from two goroutines at once. The
+// routes it produces are bit-identical to those of a fresh Search.
+type Search struct {
+	g      *grid.Graph
+	win    geom.Rect
+	ww, wh int
+
+	// Per-window-node arrays, epoch-stamped so rebinding and starting a new
+	// Dijkstra pass both cost O(1): a node's entry is valid only when its
+	// stamp matches the current epoch.
+	dist    []float64
+	parent  []int32 // packed predecessor node index, -1 none
+	visited []bool
+	stamp   []uint32
+	epoch   uint32
+
+	// Per-net sets, stamped like the arrays above but with epochs that tick
+	// once per RouteNet call (they live across that net's Dijkstra passes).
+	connStamp []uint32
+	targStamp []uint32
+	connEpoch uint32
+	targEpoch uint32
+
+	// connected is an ordered source list (its membership set is connStamp):
+	// set iteration order would make equal-cost tie-breaking — and therefore
+	// the chosen geometry and expansion counts — nondeterministic.
+	connected []geom.Point3
+	remaining int // unreached targets
+
+	q     pq
+	nodes []geom.Point3 // pathNodes buffer
+	pts   []geom.Point3 // reconstruct buffer
+}
+
+// NewSearch returns an empty scratch; capacity grows on first use.
+func NewSearch() *Search { return &Search{} }
+
+// bind points the scratch at a grid and window, growing the node arrays as
+// needed. Entries surviving from earlier windows are invalidated by their
+// stale stamps, never by clearing.
+func (s *Search) bind(g *grid.Graph, win geom.Rect) {
+	s.g, s.win = g, win
+	s.ww, s.wh = win.Width(), win.Height()
+	n := s.ww * s.wh * g.L
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.parent = make([]int32, n)
+		s.visited = make([]bool, n)
+		s.stamp = make([]uint32, n)
+		s.connStamp = make([]uint32, n)
+		s.targStamp = make([]uint32, n)
+		return
+	}
+	s.dist = s.dist[:n]
+	s.parent = s.parent[:n]
+	s.visited = s.visited[:n]
+	s.stamp = s.stamp[:n]
+	s.connStamp = s.connStamp[:n]
+	s.targStamp = s.targStamp[:n]
+}
+
+// bumpEpoch advances an epoch counter, clearing the backing array on the
+// (once per 2^32 uses) wrap so stale stamps can never collide.
+func bumpEpoch(e *uint32, arr []uint32) {
+	*e++
+	if *e == 0 {
+		for i := range arr {
+			arr[i] = 0
+		}
+		*e = 1
+	}
+}
+
 // RouteNet maze-routes a whole net inside the window: starting from the
 // first pin, it repeatedly runs Dijkstra from the already-connected
 // geometry (all its 3-D nodes are sources) to the nearest unconnected pin,
 // until every pin is connected. The grid is read-only; the caller commits
 // the returned route.
-func RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window geom.Rect) (*route.NetRoute, Stats, error) {
+func (s *Search) RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window geom.Rect) (*route.NetRoute, Stats, error) {
 	if len(pins) == 0 {
 		return nil, Stats{}, fmt.Errorf("maze: net %d has no pins", netID)
 	}
@@ -39,99 +127,78 @@ func RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window geom.Rect) (*
 		}
 	}
 
-	s := newSearch(g, window)
+	s.bind(g, window)
+	bumpEpoch(&s.connEpoch, s.connStamp)
+	bumpEpoch(&s.targEpoch, s.targStamp)
 	r := &route.NetRoute{NetID: netID}
 	var stats Stats
 
-	// connected is an ordered source list (plus a membership set): map
-	// iteration order would make equal-cost tie-breaking — and therefore the
-	// chosen geometry and expansion counts — nondeterministic.
-	connected := []geom.Point3{pins[0]}
-	inConnected := map[geom.Point3]bool{pins[0]: true}
-	remaining := make(map[geom.Point3]bool)
+	s.connected = append(s.connected[:0], pins[0])
+	s.connStamp[s.index(pins[0])] = s.connEpoch
+	s.remaining = 0
 	for _, p := range pins[1:] {
-		if p != pins[0] {
-			remaining[p] = true
+		if p == pins[0] {
+			continue
+		}
+		if i := s.index(p); s.targStamp[i] != s.targEpoch {
+			s.targStamp[i] = s.targEpoch
+			s.remaining++
 		}
 	}
-	for len(remaining) > 0 {
-		path, reached, st, err := s.dijkstra(connected, remaining)
+	for s.remaining > 0 {
+		path, reached, st, err := s.dijkstra(s.connected)
 		stats.Expansions += st.Expansions
 		stats.Pushes += st.Pushes
 		if err != nil {
 			return nil, stats, fmt.Errorf("maze: net %d: %w", netID, err)
 		}
-		delete(remaining, reached)
+		s.targStamp[s.index(reached)] = s.targEpoch - 1
+		s.remaining--
 		// Every node of the new path joins the source set.
-		for _, p3 := range pathNodes(g, path) {
-			if !inConnected[p3] {
-				inConnected[p3] = true
-				connected = append(connected, p3)
+		s.nodes = pathNodes(g, path, s.nodes[:0])
+		for _, p3 := range s.nodes {
+			if i := s.index(p3); s.connStamp[i] != s.connEpoch {
+				s.connStamp[i] = s.connEpoch
+				s.connected = append(s.connected, p3)
 			}
 		}
-		if !inConnected[reached] {
-			inConnected[reached] = true
-			connected = append(connected, reached)
+		if i := s.index(reached); s.connStamp[i] != s.connEpoch {
+			s.connStamp[i] = s.connEpoch
+			s.connected = append(s.connected, reached)
 		}
 		r.Paths = append(r.Paths, path)
 	}
 	return r, stats, nil
 }
 
-// pathNodes enumerates all 3-D grid nodes a path touches.
-func pathNodes(g *grid.Graph, p route.Path) []geom.Point3 {
-	var nodes []geom.Point3
+// pathNodes appends all 3-D grid nodes a path touches to dst.
+func pathNodes(g *grid.Graph, p route.Path, dst []geom.Point3) []geom.Point3 {
 	for _, s := range p.Segs {
 		if g.Dir(s.Layer) == grid.Horizontal {
 			lo, hi := geom.Min(s.A.X, s.B.X), geom.Max(s.A.X, s.B.X)
 			for x := lo; x <= hi; x++ {
-				nodes = append(nodes, geom.Point3{X: x, Y: s.A.Y, Layer: s.Layer})
+				dst = append(dst, geom.Point3{X: x, Y: s.A.Y, Layer: s.Layer})
 			}
 		} else {
 			lo, hi := geom.Min(s.A.Y, s.B.Y), geom.Max(s.A.Y, s.B.Y)
 			for y := lo; y <= hi; y++ {
-				nodes = append(nodes, geom.Point3{X: s.A.X, Y: y, Layer: s.Layer})
+				dst = append(dst, geom.Point3{X: s.A.X, Y: y, Layer: s.Layer})
 			}
 		}
 	}
 	for _, v := range p.Vias {
 		for l := v.L1; l <= v.L2; l++ {
-			nodes = append(nodes, geom.Point3{X: v.X, Y: v.Y, Layer: l})
+			dst = append(dst, geom.Point3{X: v.X, Y: v.Y, Layer: l})
 		}
 	}
-	return nodes
+	return dst
 }
 
-// search holds the windowed Dijkstra state, reused across connections of one
-// net to avoid reallocating the distance arrays.
-type search struct {
-	g       *grid.Graph
-	win     geom.Rect
-	ww, wh  int
-	dist    []float64
-	parent  []int32 // packed predecessor node index, -1 none
-	visited []bool
-	stamp   []uint32
-	epoch   uint32
-}
-
-func newSearch(g *grid.Graph, win geom.Rect) *search {
-	ww, wh := win.Width(), win.Height()
-	n := ww * wh * g.L
-	return &search{
-		g: g, win: win, ww: ww, wh: wh,
-		dist:    make([]float64, n),
-		parent:  make([]int32, n),
-		visited: make([]bool, n),
-		stamp:   make([]uint32, n),
-	}
-}
-
-func (s *search) index(p geom.Point3) int32 {
+func (s *Search) index(p geom.Point3) int32 {
 	return int32(((p.Layer-1)*s.wh+(p.Y-s.win.Lo.Y))*s.ww + (p.X - s.win.Lo.X))
 }
 
-func (s *search) point(i int32) geom.Point3 {
+func (s *Search) point(i int32) geom.Point3 {
 	x := int(i) % s.ww
 	rest := int(i) / s.ww
 	y := rest % s.wh
@@ -140,7 +207,7 @@ func (s *search) point(i int32) geom.Point3 {
 }
 
 // fresh lazily resets per-search state via epoch stamping.
-func (s *search) fresh(i int32) {
+func (s *Search) fresh(i int32) {
 	if s.stamp[i] != s.epoch {
 		s.stamp[i] = s.epoch
 		s.dist[i] = math.Inf(1)
@@ -154,26 +221,74 @@ type pqItem struct {
 	d    float64
 }
 
+// pq is a binary min-heap on d. The sift operations mirror container/heap's
+// algorithm exactly — same swaps, same tie handling — so the settle order
+// (and with it the routed geometry) matches the stdlib-heap implementation
+// bit for bit; going through a concrete slice instead of heap.Interface
+// removes the per-push interface boxing that dominated maze allocations.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	q.up(len(*q) - 1)
+}
+
+func (q *pq) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	q.down(0, n)
+	it := h[n]
+	*q = h[:n]
+	return it
+}
+
+func (q *pq) init() {
+	n := len(*q)
+	for i := n/2 - 1; i >= 0; i-- {
+		q.down(i, n)
+	}
+}
+
+func (q *pq) up(j int) {
+	h := *q
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].d < h[i].d) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *pq) down(i, n int) {
+	h := *q
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].d < h[j1].d {
+			j = j2
+		}
+		if !(h[j].d < h[i].d) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // dijkstra runs one multi-source multi-target search and returns the
-// cheapest path to whichever target settles first.
-func (s *search) dijkstra(sources []geom.Point3, targets map[geom.Point3]bool) (route.Path, geom.Point3, Stats, error) {
-	s.epoch++
+// cheapest path to whichever target settles first. Targets are the nodes
+// whose targStamp carries the current target epoch.
+func (s *Search) dijkstra(sources []geom.Point3) (route.Path, geom.Point3, Stats, error) {
+	bumpEpoch(&s.epoch, s.stamp)
 	var st Stats
-	q := make(pq, 0, 256)
+	q := &s.q
+	*q = (*q)[:0]
 	for _, src := range sources {
 		if !s.win.Contains(src.P()) {
 			continue
@@ -182,17 +297,17 @@ func (s *search) dijkstra(sources []geom.Point3, targets map[geom.Point3]bool) (
 		s.fresh(i)
 		if s.dist[i] > 0 {
 			s.dist[i] = 0
-			heap.Push(&q, pqItem{i, 0})
+			q.push(pqItem{i, 0})
 			st.Pushes++
 		}
 	}
-	if len(q) == 0 {
+	if len(*q) == 0 {
 		return route.Path{}, geom.Point3{}, st, fmt.Errorf("no sources inside window")
 	}
-	heap.Init(&q)
+	q.init()
 
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+	for len(*q) > 0 {
+		it := q.pop()
 		i := it.node
 		s.fresh(i)
 		if s.visited[i] || it.d > s.dist[i] {
@@ -200,16 +315,15 @@ func (s *search) dijkstra(sources []geom.Point3, targets map[geom.Point3]bool) (
 		}
 		s.visited[i] = true
 		st.Expansions++
-		p := s.point(i)
-		if targets[p] {
-			return s.reconstruct(i), p, st, nil
+		if s.targStamp[i] == s.targEpoch {
+			return s.reconstruct(i), s.point(i), st, nil
 		}
-		s.relaxNeighbors(p, i, &q, &st)
+		s.relaxNeighbors(s.point(i), i, q, &st)
 	}
 	return route.Path{}, geom.Point3{}, st, fmt.Errorf("targets unreachable within window")
 }
 
-func (s *search) relaxNeighbors(p geom.Point3, i int32, q *pq, st *Stats) {
+func (s *Search) relaxNeighbors(p geom.Point3, i int32, q *pq, st *Stats) {
 	g := s.g
 	d := s.dist[i]
 	relax := func(np geom.Point3, cost float64) {
@@ -218,7 +332,7 @@ func (s *search) relaxNeighbors(p geom.Point3, i int32, q *pq, st *Stats) {
 		if nd := d + cost; nd < s.dist[j] {
 			s.dist[j] = nd
 			s.parent[j] = i
-			heap.Push(q, pqItem{j, nd})
+			q.push(pqItem{j, nd})
 			st.Pushes++
 		}
 	}
@@ -249,14 +363,15 @@ func (s *search) relaxNeighbors(p geom.Point3, i int32, q *pq, st *Stats) {
 
 // reconstruct walks parents back to a source, compressing runs of same-layer
 // steps into segments and layer changes into via stacks.
-func (s *search) reconstruct(end int32) route.Path {
-	var pts []geom.Point3
+func (s *Search) reconstruct(end int32) route.Path {
+	pts := s.pts[:0]
 	for i := end; i >= 0; i = s.parent[i] {
 		pts = append(pts, s.point(i))
 		if s.parent[i] < 0 {
 			break
 		}
 	}
+	s.pts = pts
 	// pts runs target -> source; orientation does not matter for geometry.
 	var path route.Path
 	if len(pts) < 2 {

@@ -1,0 +1,92 @@
+// Package par provides the host-parallel execution primitives the router's
+// hot paths share: a bounded worker pool running a deterministic parallel-for
+// with per-worker scratch affinity.
+//
+// The contract that keeps parallel runs bit-identical to sequential ones is
+// the caller's: the body invoked for index i may only write state owned by i
+// (its own result slot, grid cells inside its private window) plus scratch
+// keyed by the worker id it receives. Under that contract the outcome is a
+// pure function of the input regardless of how indices interleave across
+// goroutines, so none of the modeled times or routing results may change
+// with the worker count — only wall-clock does. Package core's determinism
+// suite sweeps worker counts to enforce exactly that.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded parallel-for executor. The zero value is unusable; build
+// one with NewPool. A Pool carries no goroutines between calls — bounding
+// means a call to For never runs more than Workers goroutines at once, so a
+// caller can size scratch as one object per worker id.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of at least one worker.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// For runs fn(worker, i) for every i in [0, n). At most p.Workers()
+// goroutines run concurrently; the worker argument is in [0, p.Workers())
+// and identifies the goroutine, so fn may use it to index per-worker scratch
+// without locking. Indices are claimed in contiguous chunks from a shared
+// counter (work-stealing by chunk), which balances skewed per-index costs
+// without a scheduler thread.
+func (p *Pool) For(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Chunked claiming keeps the atomic counter off the hot path while still
+	// letting fast workers absorb the tail of slow ones.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// For is the one-shot convenience: NewPool(workers).For(n, fn).
+func For(workers, n int, fn func(worker, i int)) {
+	NewPool(workers).For(n, fn)
+}

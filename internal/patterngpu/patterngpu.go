@@ -17,6 +17,7 @@ import (
 
 	"fastgr/internal/gpu"
 	"fastgr/internal/grid"
+	"fastgr/internal/par"
 	"fastgr/internal/pattern"
 	"fastgr/internal/stt"
 )
@@ -25,6 +26,12 @@ import (
 type Router struct {
 	Dev *gpu.Device
 	Cfg pattern.Config
+	// Workers is the number of host goroutines solving a batch's nets
+	// concurrently (<= 1 means sequential). A batch is conflict-free and the
+	// grid is read-only while it is being solved, so each net's flow
+	// evaluation is independent; results, per-net work counters and the
+	// simulated kernel time are bit-identical for every worker count.
+	Workers int
 }
 
 // New builds a Router with the given device spec and pattern configuration.
@@ -48,16 +55,21 @@ type BatchResult struct {
 func (r *Router) RouteBatch(g *grid.Graph, trees []*stt.Tree) BatchResult {
 	br := BatchResult{Results: make([]pattern.Result, len(trees))}
 	blocks := make([]gpu.Block, len(trees))
-	var bytesIn, bytesOut int64
 
-	for i, tree := range trees {
+	// Solve phase: every net writes only its own slot, so the batch can fan
+	// out over host workers; the device accounting below stays sequential
+	// (the simulated clock is shared state) and sums per-net numbers in
+	// batch order, keeping the kernel time independent of the worker count.
+	par.For(r.Workers, len(trees), func(_, i int) {
 		rec := &recorder{}
-		res := pattern.Solve(g, tree, r.Cfg, rec)
+		res := pattern.Solve(g, trees[i], r.Cfg, rec)
 		br.Results[i] = res
+		blocks[i] = gpu.Block{Ops: res.Ops.Total() + rec.evalOps, Span: blockSpan(g.L, res)}
+	})
 
-		ops := res.Ops.Total() + rec.evalOps
-		blocks[i] = gpu.Block{Ops: ops, Span: blockSpan(g.L, res)}
-		br.SeqOps += ops
+	var bytesIn, bytesOut int64
+	for i, res := range br.Results {
+		br.SeqOps += blocks[i].Ops
 		bytesIn += flowBytes(g.L, res)
 		bytesOut += int64(len(res.EdgeFlows)) * int64(g.L) * 8
 	}

@@ -96,21 +96,25 @@ type Task struct {
 // ExtractBatches repeatedly applies Algorithm 1 to the task list (already in
 // the desired sort order): each pass greedily collects tasks that do not
 // conflict with anything already in the batch, yielding near-maximal
-// independent sets. Every task lands in exactly one batch.
+// independent sets. Every task lands in exactly one batch. Conflict checks
+// go through the same 16x16 G-cell binning the conflict graph uses, so a
+// pass costs near-linear time instead of the quadratic scan over all
+// accepted boxes.
 func ExtractBatches(tasks []Task) [][]Task {
+	occ := newBinnedOccupancy(taskBounds(tasks))
 	remaining := append([]Task(nil), tasks...)
 	var batches [][]Task
 	for len(remaining) > 0 {
+		occ.reset()
 		var batch []Task
 		var rest []Task
-		var occupied []geom.Rect
 		for _, t := range remaining {
-			if conflictsAny(t.BBox, occupied) {
+			if occ.conflicts(t.BBox) {
 				rest = append(rest, t)
 				continue
 			}
 			batch = append(batch, t)
-			occupied = append(occupied, t.BBox)
+			occ.add(t.BBox)
 		}
 		batches = append(batches, batch)
 		remaining = rest
@@ -118,10 +122,57 @@ func ExtractBatches(tasks []Task) [][]Task {
 	return batches
 }
 
-func conflictsAny(r geom.Rect, occupied []geom.Rect) bool {
-	for _, o := range occupied {
-		if r.Overlaps(o) {
-			return true
+// taskBounds returns grid dimensions covering every task bbox, for callers
+// that do not know the grid (ExtractBatches).
+func taskBounds(tasks []Task) (w, h int) {
+	for _, t := range tasks {
+		w = geom.Max(w, t.BBox.Hi.X+1)
+		h = geom.Max(h, t.BBox.Hi.Y+1)
+	}
+	return w, h
+}
+
+// binShift sets the spatial bin size used by conflict detection: 16x16
+// G-cell bins, matching the conflict-graph construction.
+const binShift = 4
+
+// binnedOccupancy is an incremental set of committed bounding boxes with
+// binned conflict queries: each box is registered in every 16x16 G-cell bin
+// it touches, and a query only tests boxes sharing a bin with the probe.
+type binnedOccupancy struct {
+	binsX, binsY int
+	bins         [][]geom.Rect
+}
+
+func newBinnedOccupancy(w, h int) *binnedOccupancy {
+	binsX := (geom.Max(w, 1) >> binShift) + 1
+	binsY := (geom.Max(h, 1) >> binShift) + 1
+	return &binnedOccupancy{binsX: binsX, binsY: binsY, bins: make([][]geom.Rect, binsX*binsY)}
+}
+
+// reset empties the set, keeping the per-bin storage for reuse.
+func (o *binnedOccupancy) reset() {
+	for i := range o.bins {
+		o.bins[i] = o.bins[i][:0]
+	}
+}
+
+func (o *binnedOccupancy) add(r geom.Rect) {
+	for by := geom.Max(0, r.Lo.Y>>binShift); by <= (r.Hi.Y>>binShift) && by < o.binsY; by++ {
+		for bx := geom.Max(0, r.Lo.X>>binShift); bx <= (r.Hi.X>>binShift) && bx < o.binsX; bx++ {
+			o.bins[by*o.binsX+bx] = append(o.bins[by*o.binsX+bx], r)
+		}
+	}
+}
+
+func (o *binnedOccupancy) conflicts(r geom.Rect) bool {
+	for by := geom.Max(0, r.Lo.Y>>binShift); by <= (r.Hi.Y>>binShift) && by < o.binsY; by++ {
+		for bx := geom.Max(0, r.Lo.X>>binShift); bx <= (r.Hi.X>>binShift) && bx < o.binsX; bx++ {
+			for _, b := range o.bins[by*o.binsX+bx] {
+				if r.Overlaps(b) {
+					return true
+				}
+			}
 		}
 	}
 	return false
@@ -153,12 +204,13 @@ func BuildGraph(tasks []Task, gridW, gridH int) *Graph {
 		Indegree:  make([]int, len(tasks)),
 		RootBatch: make([]bool, len(tasks)),
 	}
-	// Root batch: greedy independent set in task order (Algorithm 1, one pass).
-	var occupied []geom.Rect
+	// Root batch: greedy independent set in task order (Algorithm 1, one
+	// pass), with binned conflict checks.
+	occ := newBinnedOccupancy(gridW, gridH)
 	for i, t := range tasks {
-		if !conflictsAny(t.BBox, occupied) {
+		if !occ.conflicts(t.BBox) {
 			g.RootBatch[i] = true
-			occupied = append(occupied, t.BBox)
+			occ.add(t.BBox)
 		}
 	}
 	for _, pair := range conflictPairs(tasks, gridW, gridH) {
@@ -182,9 +234,11 @@ func BuildGraph(tasks []Task, gridW, gridH int) *Graph {
 }
 
 // conflictPairs finds all overlapping bbox pairs via binning: tasks are
-// registered in coarse grid bins; only pairs sharing a bin are tested.
+// registered in coarse grid bins; only pairs sharing a bin are tested. A
+// pair spanning several bins surfaces once per shared bin, so candidates are
+// deduplicated by sort-then-compact — cheaper than the map the construction
+// previously used, which dominated allocation on dense designs.
 func conflictPairs(tasks []Task, gridW, gridH int) [][2]int {
-	const binShift = 4 // 16x16 G-cell bins
 	binsX := (geom.Max(gridW, 1) >> binShift) + 1
 	binsY := (geom.Max(gridH, 1) >> binShift) + 1
 	bins := make([][]int, binsX*binsY)
@@ -196,7 +250,6 @@ func conflictPairs(tasks []Task, gridW, gridH int) [][2]int {
 			}
 		}
 	}
-	seen := make(map[[2]int]bool)
 	var pairs [][2]int
 	for _, bin := range bins {
 		for a := 0; a < len(bin); a++ {
@@ -205,14 +258,7 @@ func conflictPairs(tasks []Task, gridW, gridH int) [][2]int {
 				if i > j {
 					i, j = j, i
 				}
-				key := [2]int{i, j}
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				if tasks[i].BBox.Overlaps(tasks[j].BBox) {
-					pairs = append(pairs, key)
-				}
+				pairs = append(pairs, [2]int{i, j})
 			}
 		}
 	}
@@ -222,7 +268,18 @@ func conflictPairs(tasks []Task, gridW, gridH int) [][2]int {
 		}
 		return pairs[a][1] < pairs[b][1]
 	})
-	return pairs
+	out := pairs[:0]
+	prev := [2]int{-1, -1}
+	for _, p := range pairs {
+		if p == prev {
+			continue
+		}
+		prev = p
+		if tasks[p[0]].BBox.Overlaps(tasks[p[1]].BBox) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // TopoOrder returns a topological order of the graph; it panics if the

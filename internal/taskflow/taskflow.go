@@ -19,6 +19,14 @@ import (
 // because conflicts were defined on the (inflated) regions each task
 // touches, concurrent tasks commute and the outcome is deterministic.
 func Run(g *sched.Graph, workers int, fn func(task int)) {
+	RunWorkers(g, workers, func(_, task int) { fn(task) })
+}
+
+// RunWorkers is Run with worker identity: fn receives the id (in
+// [0, workers)) of the goroutine executing it, so callers can keep one
+// scratch object per worker — e.g. a maze.Search — without locking. A worker
+// id is used by exactly one goroutine for the whole run.
+func RunWorkers(g *sched.Graph, workers int, fn func(worker, task int)) {
 	n := len(g.Tasks)
 	if n == 0 {
 		return
@@ -40,10 +48,10 @@ func Run(g *sched.Graph, workers int, fn func(task int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for t := range ready {
-				fn(t)
+				fn(worker, t)
 				mu.Lock()
 				done++
 				for _, v := range g.Succ[t] {
@@ -57,7 +65,7 @@ func Run(g *sched.Graph, workers int, fn func(task int)) {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if done != n {

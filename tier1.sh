@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 verification: the gate every PR must keep green.
+# Vet + build + full test suite, then the race detector over the packages
+# that execute host-parallel (the determinism contract is only meaningful
+# if it holds under -race).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/par ./internal/core ./internal/taskflow
