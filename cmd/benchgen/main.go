@@ -9,6 +9,7 @@
 //	benchgen -table3 -scale 0.01
 //	benchgen -design 19test7m -scale 0.02 -o 19test7m.txt
 //	benchgen -hostpar -o BENCH_hostpar.json
+//	benchgen -obs -o BENCH_obs.json
 package main
 
 import (
@@ -28,12 +29,17 @@ func main() {
 		scale   = flag.Float64("scale", 0.01, "benchmark scale in (0,1]")
 		out     = flag.String("o", "", "write the output to this file (default stdout)")
 		hostpar = flag.Bool("hostpar", false, "measure host-parallel execution benchmarks and emit JSON")
+		obsFlag = flag.Bool("obs", false, "measure observability overhead on the pattern stage and emit JSON (fails if disabled-mode overhead exceeds the budget)")
 	)
 	flag.Parse()
 
 	switch {
 	case *hostpar:
 		if err := runHostpar(*out); err != nil {
+			fatal(err)
+		}
+	case *obsFlag:
+		if err := runObs(*out); err != nil {
 			fatal(err)
 		}
 	case *list:

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -20,6 +23,8 @@ import (
 	"fastgr/internal/design"
 	"fastgr/internal/dr"
 	"fastgr/internal/guide"
+	"fastgr/internal/metrics"
+	"fastgr/internal/obs"
 	"fastgr/internal/sched"
 )
 
@@ -37,6 +42,9 @@ func main() {
 		guides     = flag.String("guides", "", "write routing guides to this file")
 		evalDR     = flag.Bool("dr", false, "evaluate the solution with the detailed-routing track assigner")
 		workers    = flag.Int("exec-workers", 0, "host worker goroutines executing the router (0 = library default); never changes the reported result")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event timeline to this file (open at ui.perfetto.dev)")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry and report as JSON to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -71,11 +79,46 @@ func main() {
 		opt.T2 = scaleThreshold(500, *scale)
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fastgr: pprof:", err)
+			}
+		}()
+	}
+	// The flight recorder is passive: attaching it never changes the
+	// routed geometry, the modeled times or the reported quality.
+	var o *obs.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		o = &obs.Observer{Metrics: obs.NewRegistry()}
+		if *traceOut != "" {
+			o.Tracer = obs.NewTracer(1<<18, opt.ExecWorkers)
+		}
+		opt.Obs = o
+	}
+
 	res, err := core.Route(d, opt)
 	if err != nil {
 		fatal(err)
 	}
 	printReport(res)
+	if o != nil {
+		fmt.Println()
+		obs.WriteSummary(os.Stdout, o.Metrics.Snapshot())
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, o.Tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans, %d dropped)\n",
+			*traceOut, o.Tracer.Recorded()-o.Tracer.Dropped(), o.Tracer.Dropped())
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, o, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
 
 	if *evalDR {
 		m := dr.Evaluate(res.Grid, res.Routes)
@@ -140,14 +183,59 @@ func printReport(res *core.Result) {
 		r.Quality.Wirelength, r.Quality.Vias, r.Quality.Shorts, r.Score)
 	fmt.Printf("modeled  PATTERN=%v MAZE=%v TOTAL=%v\n",
 		r.Times.Pattern, r.Times.Maze, r.Times.Total)
-	fmt.Printf("wall     plan=%v pattern=%v maze=%v\n",
-		r.Times.PlanWall, r.Times.PatternWall, r.Times.MazeWall)
-	fmt.Printf("stages   batches=%d nets-to-ripup=%d hybrid-edges=%d/%d\n",
-		r.PatternBatches, r.NetsToRipup, r.HybridEdges, r.TotalEdges)
+	fmt.Printf("wall     plan=%v pattern=%v maze=%v total=%v\n",
+		r.Times.PlanWall, r.Times.PatternWall, r.Times.MazeWall, r.Times.WallTotal)
+	fmt.Printf("stages   batches=%d nets-to-ripup=%d hybrid-edges=%d/%d pattern-score=%.1f\n",
+		r.PatternBatches, r.NetsToRipup, r.HybridEdges, r.TotalEdges, r.PatternScore)
 	for i, it := range r.RRR {
-		fmt.Printf("  rrr[%d] nets=%d expansions=%d taskgraph=%v batch=%v\n",
-			i, it.Nets, it.Expansions, it.TaskGraphTime, it.BatchTime)
+		fmt.Printf("  rrr[%d] nets=%d expansions=%d taskgraph=%v batch=%v shorts=%d score=%.1f\n",
+			i, it.Nets, it.Expansions, it.TaskGraphTime, it.BatchTime, it.Quality.Shorts, it.Score)
 	}
+}
+
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteTrace(f, t)
+}
+
+// writeMetrics dumps the metrics registry next to the report facts an
+// external dashboard would want: quality, the modeled/wall split, and
+// the per-iteration eq.-15 trajectory.
+func writeMetrics(path string, o *obs.Observer, res *core.Result) error {
+	r := res.Report
+	out := struct {
+		Design  string          `json:"design"`
+		Variant string          `json:"variant"`
+		Quality metrics.Quality `json:"quality"`
+		Score   float64         `json:"score"`
+		Times   core.StageTimes `json:"times"`
+
+		PatternScore float64          `json:"patternScore"`
+		RRR          []core.IterStats `json:"rrr"`
+
+		Metrics obs.Snapshot `json:"metrics"`
+	}{
+		Design:       r.Design,
+		Variant:      r.Variant,
+		Quality:      r.Quality,
+		Score:        r.Score,
+		Times:        r.Times,
+		PatternScore: r.PatternScore,
+		RRR:          r.RRR,
+		Metrics:      o.M().Snapshot(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
 }
 
 // writeGuides emits CUGR-style routing guides, verifying the coverage

@@ -170,14 +170,20 @@ func geoMean(ratios []float64) float64 {
 	return math.Exp(sum / float64(len(ratios)))
 }
 
-// mean returns the arithmetic mean.
+// mean returns the arithmetic mean, skipping NaN entries — the undefined
+// sentinel metrics.ImprovementPct returns for zero-base comparisons, which
+// must not poison a table's average (0 when nothing is defined).
 func mean(vals []float64) float64 {
-	if len(vals) == 0 {
+	s, n := 0.0, 0
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		s += v
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	s := 0.0
-	for _, v := range vals {
-		s += v
-	}
-	return s / float64(len(vals))
+	return s / float64(n)
 }

@@ -27,6 +27,7 @@ import (
 	"fastgr/internal/grid"
 	"fastgr/internal/maze"
 	"fastgr/internal/metrics"
+	"fastgr/internal/obs"
 	"fastgr/internal/par"
 	"fastgr/internal/pattern"
 	"fastgr/internal/patterngpu"
@@ -105,6 +106,12 @@ type Options struct {
 	// MazeNsPerExpansion converts maze search work (node expansions) into
 	// modeled time; heap-based Dijkstra costs tens of ns per settled node.
 	MazeNsPerExpansion float64
+	// Obs, when non-nil, attaches the flight recorder (internal/obs):
+	// stage/batch/iteration/task spans and the pipeline metrics registry.
+	// Observability is passive — routed geometry, modeled times and quality
+	// are bit-identical with it on, off, or at any ExecWorkers count; the
+	// determinism suite runs with tracing enabled to enforce that.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the paper-faithful configuration for a variant.
@@ -124,17 +131,27 @@ func DefaultOptions(v Variant) Options {
 	}
 }
 
-// StageTimes reports modeled and wall-clock stage durations. TOTAL is
-// PATTERN + MAZE, the two stages the paper's runtime tables compare (the
-// planning stage is identical across variants).
+// StageTimes reports stage durations on two deliberately separate clocks:
+//
+//   - Pattern, Maze and Total are MODELED times — the simulated GPU kernel
+//     clock, the P-worker makespan models and the expansion cost model of
+//     DESIGN.md. Total is Pattern + Maze only, the two stages the paper's
+//     runtime tables compare (the planning stage is identical across
+//     variants), and is a pure function of the design and options.
+//   - The *Wall fields are HOST wall-clock measurements of this process,
+//     and WallTotal = PlanWall + PatternWall + MazeWall covers the whole
+//     pipeline including planning. Wall times vary run to run and with
+//     ExecWorkers; they must never be compared against, or summed into,
+//     the modeled columns.
 type StageTimes struct {
 	Pattern time.Duration // modeled pattern routing stage
 	Maze    time.Duration // modeled rip-up-and-reroute iterations
-	Total   time.Duration
+	Total   time.Duration // modeled Pattern + Maze (excludes planning)
 
 	PlanWall    time.Duration
 	PatternWall time.Duration
 	MazeWall    time.Duration
+	WallTotal   time.Duration // wall Plan + Pattern + Maze
 }
 
 // IterStats records one rip-up-and-reroute iteration.
@@ -144,6 +161,12 @@ type IterStats struct {
 	TaskGraphTime time.Duration // modeled DAG-schedule makespan
 	BatchTime     time.Duration // modeled batch-barrier makespan
 	ConflictEdges int
+	// Quality and Score snapshot the eq.-15 metrics after this iteration
+	// committed — the per-iteration trajectory of how rip-up trades
+	// wirelength and vias for shorts. Deterministic like every other
+	// reported metric (the snapshot is a pure function of grid state).
+	Quality metrics.Quality
+	Score   float64
 }
 
 // Report is the measurable outcome of one routing run.
@@ -162,6 +185,12 @@ type Report struct {
 	PatternSeqTime time.Duration // modeled single-core time of that work
 	HybridEdges    int           // two-pin nets routed by the hybrid kernel
 	TotalEdges     int
+
+	// PatternQuality and PatternScore snapshot eq. 15 right after the
+	// pattern stage — the starting point of the RRR quality trajectory
+	// recorded per iteration in RRR below.
+	PatternQuality metrics.Quality
+	PatternScore   float64
 
 	// NetsToRipup is the violating-net count right after the pattern stage.
 	NetsToRipup int
@@ -208,6 +237,7 @@ type runner struct {
 func (r *runner) run() (*Result, error) {
 	r.g = grid.NewFromDesign(r.d)
 	r.pool = par.NewPool(r.opt.ExecWorkers)
+	r.pool.SetObserver(r.opt.Obs)
 	r.rep.Design = r.d.Name
 	r.rep.Variant = r.opt.Variant.String()
 
@@ -233,6 +263,8 @@ func (r *runner) run() (*Result, error) {
 // slot — so construction fans out over the executor pool.
 func (r *runner) plan() {
 	start := time.Now()
+	sp := r.opt.Obs.T().StartSpan("plan", obs.Coordinator)
+	defer sp.End()
 	est := r.g.Estimator2D()
 	maxID := 0
 	for _, n := range r.d.Nets {
@@ -257,6 +289,9 @@ func (r *runner) plan() {
 // batch, committing demand after each batch.
 func (r *runner) patternStage() {
 	start := time.Now()
+	tr := r.opt.Obs.T()
+	sp := tr.StartSpan("pattern", obs.Coordinator)
+	defer sp.End()
 
 	ordered := append([]*design.Net(nil), r.d.Nets...)
 	sched.SortNets(ordered, r.opt.Scheme)
@@ -265,6 +300,7 @@ func (r *runner) patternStage() {
 		tasks[i] = sched.Task{ID: i, BBox: r.trees[n.ID].BBox(), Payload: n}
 	}
 	batches := sched.ExtractBatches(tasks)
+	sched.ObserveBatches(r.opt.Obs.M(), batches)
 	r.rep.PatternBatches = len(batches)
 
 	cfg := pattern.Config{Mode: pattern.LShape}
@@ -288,7 +324,8 @@ func (r *runner) patternStage() {
 	case CUGR:
 		// Sequential CPU pattern routing, net by net in batch order.
 		var ops int64
-		for _, batch := range batches {
+		for bi, batch := range batches {
+			bsp := batchSpan(tr, bi)
 			for _, task := range batch {
 				n := task.Payload.(*design.Net)
 				res := pattern.SolveCPU(r.g, r.trees[n.ID], cfg)
@@ -298,17 +335,24 @@ func (r *runner) patternStage() {
 				r.rep.TotalEdges += res.Edges
 				r.rep.HybridEdges += res.HybridEdges
 			}
+			bsp.End()
 		}
 		r.rep.PatternSeqOps = ops
 		r.rep.PatternSeqTime = r.opt.CPU.SequentialTime(ops)
 		r.rep.Times.Pattern = r.rep.PatternSeqTime
+		if m := r.opt.Obs.M(); m != nil {
+			m.Counter(obs.MPatternHybrid).Add(int64(r.rep.HybridEdges))
+			m.Counter(obs.MPatternLShape).Add(int64(r.rep.TotalEdges - r.rep.HybridEdges))
+		}
 	default:
 		// GPU-friendly pattern routing: one kernel per batch, one block per
 		// net (Fig. 7). Host workers solve the batch's nets concurrently;
 		// commits stay in batch order below.
 		router := patterngpu.New(r.opt.Device, cfg)
 		router.Workers = r.pool.Workers()
-		for _, batch := range batches {
+		router.Obs = r.opt.Obs
+		for bi, batch := range batches {
+			bsp := batchSpan(tr, bi)
 			trees := make([]*stt.Tree, len(batch))
 			nets := make([]*design.Net, len(batch))
 			for i, task := range batch {
@@ -324,16 +368,31 @@ func (r *runner) patternStage() {
 			}
 			r.rep.PatternSeqOps += br.SeqOps
 			r.rep.Times.Pattern += br.KernelTime
+			bsp.End()
 		}
 		r.rep.PatternSeqTime = r.opt.CPU.SequentialTime(r.rep.PatternSeqOps)
 	}
+	r.rep.PatternQuality = r.snapshotQuality()
+	r.rep.PatternScore = r.rep.PatternQuality.Score()
 	r.rep.Times.PatternWall = time.Since(start)
+}
+
+// batchSpan opens a per-batch span on the stages lane; the formatting
+// only runs when tracing is on.
+func batchSpan(tr *obs.Tracer, batch int) obs.Span {
+	if !tr.On() {
+		return obs.Span{}
+	}
+	return tr.StartSpan(fmt.Sprintf("pattern.batch[%d]", batch), obs.Coordinator)
 }
 
 // rrrStage runs the rip-up-and-reroute iterations with the variant's
 // scheduling strategy.
 func (r *runner) rrrStage() error {
 	start := time.Now()
+	tr := r.opt.Obs.T()
+	stageSp := tr.StartSpan("rrr", obs.Coordinator)
+	defer stageSp.End()
 	scheme := r.opt.Scheme
 	if r.opt.RRRSchemeOverride != nil {
 		scheme = *r.opt.RRRSchemeOverride
@@ -349,14 +408,20 @@ func (r *runner) rrrStage() error {
 	searches := make([]*maze.Search, r.pool.Workers())
 	for i := range searches {
 		searches[i] = maze.NewSearch()
+		searches[i].SetObserver(r.opt.Obs)
 	}
 
 	for iter := 0; iter < r.opt.RRRIters; iter++ {
+		var iterSp obs.Span
+		if tr.On() {
+			iterSp = tr.StartSpan(fmt.Sprintf("rrr.iter[%d]", iter), obs.Coordinator)
+		}
 		violating := r.violatingNets()
 		if iter == 0 {
 			r.rep.NetsToRipup = len(violating)
 		}
 		if len(violating) == 0 {
+			iterSp.End()
 			break
 		}
 		sched.SortNets(violating, scheme)
@@ -381,6 +446,11 @@ func (r *runner) rrrStage() error {
 		var firstErr error
 		work := func(worker, ti int) {
 			n := tasks[ti].Payload.(*design.Net)
+			var sp obs.Span
+			if tr.On() {
+				sp = tr.StartSpan("maze:"+n.Name, worker)
+			}
+			defer sp.End()
 			old := r.routes[n.ID]
 			old.Uncommit(r.g)
 			pins := route.PinTerminals(r.trees[n.ID])
@@ -412,7 +482,7 @@ func (r *runner) rrrStage() error {
 				})
 			}
 		} else {
-			taskflow.RunWorkers(graph, r.pool.Workers(), work)
+			taskflow.RunWorkersObserved(graph, r.pool.Workers(), r.opt.Obs, work)
 		}
 		if firstErr != nil {
 			return fmt.Errorf("core: rip-up iteration %d: %w", iter, firstErr)
@@ -435,13 +505,22 @@ func (r *runner) rrrStage() error {
 		for _, e := range expansions {
 			totalExp += e
 		}
+		iterQ := r.snapshotQuality()
 		r.rep.RRR = append(r.rep.RRR, IterStats{
 			Nets:          len(violating),
 			Expansions:    totalExp,
 			TaskGraphTime: tg,
 			BatchTime:     bb,
 			ConflictEdges: modelGraph.Edges,
+			Quality:       iterQ,
+			Score:         iterQ.Score(),
 		})
+		if m := r.opt.Obs.M(); m != nil {
+			m.Counter(obs.MRRRNets).Add(int64(len(violating)))
+			m.Counter(obs.MRRRExpansions).Add(totalExp)
+			m.Gauge("rrr.iterations").Set(int64(iter + 1))
+			m.Gauge("rrr.overflow").Set(int64(iterQ.Shorts))
+		}
 		r.rep.MazeTaskGraphTime += tg
 		r.rep.MazeBatchTime += bb
 		if r.opt.Variant == CUGR {
@@ -456,6 +535,7 @@ func (r *runner) rrrStage() error {
 			}
 			r.g.BumpOverflowHistory(bump)
 		}
+		iterSp.End()
 	}
 	r.rep.Times.MazeWall = time.Since(start)
 	return nil
@@ -480,16 +560,25 @@ func (r *runner) violatingNets() []*design.Net {
 	return out
 }
 
-// finish computes final quality and the score.
-func (r *runner) finish() {
+// snapshotQuality evaluates eq. 15 over the current routes and grid — a
+// read-only scan, usable mid-pipeline for the per-iteration trajectory.
+func (r *runner) snapshotQuality() metrics.Quality {
+	var q metrics.Quality
 	for _, n := range r.d.Nets {
 		if rt := r.routes[n.ID]; rt != nil {
-			r.rep.Quality.Wirelength += rt.Wirelength(r.g)
-			r.rep.Quality.Vias += rt.ViaCount(r.g)
+			q.Wirelength += rt.Wirelength(r.g)
+			q.Vias += rt.ViaCount(r.g)
 		}
 	}
 	wire, via := r.g.Overflow()
-	r.rep.Quality.Shorts = wire + via
+	q.Shorts = wire + via
+	return q
+}
+
+// finish computes final quality, the score and the wall-clock total.
+func (r *runner) finish() {
+	r.rep.Quality = r.snapshotQuality()
 	r.rep.Score = r.rep.Quality.Score()
 	r.rep.Times.Total = r.rep.Times.Pattern + r.rep.Times.Maze
+	r.rep.Times.WallTotal = r.rep.Times.PlanWall + r.rep.Times.PatternWall + r.rep.Times.MazeWall
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fastgr/internal/design"
+	"fastgr/internal/obs"
 )
 
 // TestExecWorkersDeterminism is the contract of the host-parallel execution
@@ -64,6 +65,69 @@ func TestExecWorkersDeterminism(t *testing.T) {
 					t.Fatalf("%v: net %s geometry differs between %d and %d workers:\n%+v\nvs\n%+v",
 						v, n.Name, baseWorkers, w, ra.Paths, rb.Paths)
 				}
+			}
+		}
+	}
+}
+
+// TestExecWorkersDeterminismWithTracing extends the contract to the
+// flight recorder: with the tracer and metrics registry attached, every
+// paper-facing output must stay byte-for-byte identical to an
+// observability-free run, at every worker count — tracing is passive.
+func TestExecWorkersDeterminismWithTracing(t *testing.T) {
+	d := design.MustGenerate("18test5m", testScale)
+	for _, v := range []Variant{CUGR, FastGRL, FastGRH} {
+		baseOpt := DefaultOptions(v)
+		baseOpt.T1, baseOpt.T2 = 4, 40
+		baseOpt.ExecWorkers = 1
+		base, err := Route(d, baseOpt)
+		if err != nil {
+			t.Fatalf("%v baseline: %v", v, err)
+		}
+		for _, w := range []int{1, 2, 8} {
+			o := &obs.Observer{
+				Tracer:  obs.NewTracer(1<<16, w),
+				Metrics: obs.NewRegistry(),
+			}
+			opt := DefaultOptions(v)
+			opt.T1, opt.T2 = 4, 40
+			opt.ExecWorkers = w
+			opt.Obs = o
+			res, err := Route(d, opt)
+			if err != nil {
+				t.Fatalf("%v workers=%d traced: %v", v, w, err)
+			}
+			a, b := base.Report, res.Report
+			if a.Quality != b.Quality || a.Score != b.Score {
+				t.Errorf("%v workers=%d: tracing changed quality:\n%+v\nvs\n%+v",
+					v, w, a.Quality, b.Quality)
+			}
+			if a.Times.Pattern != b.Times.Pattern || a.Times.Maze != b.Times.Maze ||
+				a.Times.Total != b.Times.Total {
+				t.Errorf("%v workers=%d: tracing changed modeled times", v, w)
+			}
+			if a.PatternQuality != b.PatternQuality ||
+				a.NetsToRipup != b.NetsToRipup || !reflect.DeepEqual(a.RRR, b.RRR) {
+				t.Errorf("%v workers=%d: tracing changed RRR statistics:\n%+v\nvs\n%+v",
+					v, w, a.RRR, b.RRR)
+			}
+			for _, n := range d.Nets {
+				ra, rb := base.Routes[n.ID], res.Routes[n.ID]
+				if (ra == nil) != (rb == nil) ||
+					(ra != nil && !reflect.DeepEqual(ra.Paths, rb.Paths)) {
+					t.Fatalf("%v workers=%d: tracing changed net %s geometry", v, w, n.Name)
+				}
+			}
+			// The recorder must actually have seen the run.
+			if o.Tracer.Recorded() == 0 {
+				t.Errorf("%v workers=%d: tracer recorded no spans", v, w)
+			}
+			s := o.Metrics.Snapshot()
+			if s.Counters[obs.MMazeSearches] == 0 {
+				t.Errorf("%v workers=%d: no maze searches recorded", v, w)
+			}
+			if s.Histograms[obs.MBatchSize].Count == 0 {
+				t.Errorf("%v workers=%d: no batch sizes recorded", v, w)
 			}
 		}
 	}

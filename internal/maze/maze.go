@@ -19,6 +19,7 @@ import (
 
 	"fastgr/internal/geom"
 	"fastgr/internal/grid"
+	"fastgr/internal/obs"
 	"fastgr/internal/route"
 )
 
@@ -70,10 +71,27 @@ type Search struct {
 	q     pq
 	nodes []geom.Point3 // pathNodes buffer
 	pts   []geom.Point3 // reconstruct buffer
+
+	// Flight-recorder handles, resolved once by SetObserver; all nil in
+	// disabled mode, where RouteNet pays three nil checks.
+	expHist     *obs.Histogram
+	pushCounter *obs.Counter
+	searchCount *obs.Counter
 }
 
 // NewSearch returns an empty scratch; capacity grows on first use.
 func NewSearch() *Search { return &Search{} }
+
+// SetObserver attaches (or, with nil, detaches) the flight recorder:
+// every RouteNet then records its expansion count into the
+// obs.MMazeExpansions histogram and bumps the pushes/searches counters.
+// Observation reads only the returned Stats, so routed geometry and the
+// expansion counts themselves are unchanged.
+func (s *Search) SetObserver(o *obs.Observer) {
+	s.expHist = o.M().Histogram(obs.MMazeExpansions, obs.ExpansionBuckets)
+	s.pushCounter = o.M().Counter(obs.MMazePushes)
+	s.searchCount = o.M().Counter(obs.MMazeSearches)
+}
 
 // bind points the scratch at a grid and window, growing the node arrays as
 // needed. Entries surviving from earlier windows are invalidated by their
@@ -168,6 +186,9 @@ func (s *Search) RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window g
 		}
 		r.Paths = append(r.Paths, path)
 	}
+	s.expHist.Observe(stats.Expansions)
+	s.pushCounter.Add(stats.Pushes)
+	s.searchCount.Add(1)
 	return r, stats, nil
 }
 

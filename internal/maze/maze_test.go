@@ -7,6 +7,7 @@ import (
 	"fastgr/internal/design"
 	"fastgr/internal/geom"
 	"fastgr/internal/grid"
+	"fastgr/internal/obs"
 	"fastgr/internal/route"
 	"fastgr/internal/stt"
 )
@@ -258,5 +259,41 @@ func TestDeterministicExpansionCounts(t *testing.T) {
 	}
 	if s1 != s2 {
 		t.Fatalf("expansion stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestSearchObservation checks the per-search metrics hooks: a routed
+// net records its expansion count, pushes and one search tick; a nil
+// observer leaves the search untouched.
+func TestSearchObservation(t *testing.T) {
+	g := testGrid(t, 20, 20, 4)
+	pins := []geom.Point3{{X: 2, Y: 3, Layer: 1}, {X: 12, Y: 9, Layer: 1}}
+
+	s := NewSearch()
+	s.SetObserver(&obs.Observer{Metrics: obs.NewRegistry()})
+	// Re-resolve to inspect: SetObserver stores handles from this registry.
+	reg := obs.NewRegistry()
+	s.SetObserver(&obs.Observer{Metrics: reg})
+	_, st, err := s.RouteNet(g, 1, pins, fullWindow(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MMazeSearches]; got != 1 {
+		t.Errorf("search counter = %d, want 1", got)
+	}
+	if got := snap.Counters[obs.MMazePushes]; got != int64(st.Pushes) {
+		t.Errorf("push counter = %d, want %d", got, st.Pushes)
+	}
+	h := snap.Histograms[obs.MMazeExpansions]
+	if h.Count != 1 || h.Sum != int64(st.Expansions) {
+		t.Errorf("expansion histogram = %+v, want one observation of %d", h, st.Expansions)
+	}
+
+	// Nil observer: same search must still route.
+	s2 := NewSearch()
+	s2.SetObserver(nil)
+	if _, _, err := s2.RouteNet(g, 1, pins, fullWindow(g)); err != nil {
+		t.Fatalf("nil observer broke routing: %v", err)
 	}
 }

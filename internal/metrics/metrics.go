@@ -3,6 +3,8 @@
 // (shorts), the weighting the paper uses to compare routers.
 package metrics
 
+import "math"
+
 // Weights of eq. 15.
 const (
 	Alpha = 0.5   // wirelength weight
@@ -32,12 +34,26 @@ func (q *Quality) Add(o Quality) {
 // ImprovementPct returns how much better (positive) or worse (negative) q is
 // than base on a metric extractor, in percent of base — the form the paper
 // reports (e.g., 27.855% shorts improvement).
+//
+// Degenerate-base semantics: with base == 0 there is no percentage-of-base
+// to report. base == q == 0 is "no change" and returns 0; base == 0 with
+// q != 0 has no meaningful sign or magnitude (any finite number, like the
+// -100 an earlier version returned, misstates a regression from zero), so
+// it returns NaN — the Inf-free "undefined" sentinel. Aggregators must
+// filter it out (see ImprovementDefined); naive averaging of an undefined
+// entry is a bug this sentinel makes loud instead of silently wrong.
 func ImprovementPct(base, q float64) float64 {
 	if base == 0 {
 		if q == 0 {
 			return 0
 		}
-		return -100
+		return math.NaN()
 	}
 	return (base - q) / base * 100
+}
+
+// ImprovementDefined reports whether ImprovementPct(base, q) is a real
+// percentage (false exactly when the NaN sentinel would be returned).
+func ImprovementDefined(base, q float64) bool {
+	return base != 0 || q == 0
 }

@@ -46,16 +46,39 @@ func TestScoreAdditive(t *testing.T) {
 }
 
 func TestImprovementPct(t *testing.T) {
-	if got := ImprovementPct(200, 150); got != 25 {
-		t.Fatalf("ImprovementPct = %v, want 25", got)
+	cases := []struct {
+		name    string
+		base, q float64
+		want    float64 // ignored when undefined
+		defined bool
+	}{
+		{"better", 200, 150, 25, true},
+		{"worse", 100, 120, -20, true},
+		{"unchanged", 100, 100, 0, true},
+		{"to zero is full improvement", 100, 0, 100, true},
+		{"zero to zero is no change", 0, 0, 0, true},
+		{"zero base regression is undefined", 0, 5, 0, false},
+		{"zero base negative q is undefined", 0, -5, 0, false},
 	}
-	if got := ImprovementPct(100, 120); got != -20 {
-		t.Fatalf("ImprovementPct = %v, want -20", got)
-	}
-	if got := ImprovementPct(0, 0); got != 0 {
-		t.Fatalf("ImprovementPct(0,0) = %v", got)
-	}
-	if got := ImprovementPct(0, 5); got != -100 {
-		t.Fatalf("ImprovementPct(0,5) = %v", got)
+	for _, c := range cases {
+		got := ImprovementPct(c.base, c.q)
+		if ImprovementDefined(c.base, c.q) != c.defined {
+			t.Errorf("%s: ImprovementDefined(%v, %v) = %v, want %v",
+				c.name, c.base, c.q, !c.defined, c.defined)
+		}
+		if !c.defined {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: ImprovementPct(%v, %v) = %v, want the NaN sentinel",
+					c.name, c.base, c.q, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: ImprovementPct(%v, %v) = %v, want %v",
+				c.name, c.base, c.q, got, c.want)
+		}
+		if math.IsInf(got, 0) {
+			t.Errorf("%s: ImprovementPct must be Inf-free, got %v", c.name, got)
+		}
 	}
 }

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry hands out named counters, gauges and histograms. The nil
+// *Registry is the disabled registry: every lookup returns a nil handle
+// whose methods are no-ops, so instrumented code needs no conditionals.
+// Lookups take a mutex; hot paths should resolve their handles once and
+// hold them (the handles themselves are lock-free atomics).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (which must be sorted ascending) on first use.
+// Re-registering a name with different bounds is a bug and panics.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter; nil is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric; nil is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations with
+// Prometheus-style upper-bound semantics: observation v lands in the
+// first bucket whose bound satisfies v <= bound, and in the implicit
+// overflow bucket when v exceeds every bound. Count, sum, min and max
+// are tracked exactly; nil is a no-op.
+type Histogram struct {
+	bounds   []int64
+	counts   []atomic.Int64 // len(bounds)+1, last = overflow
+	count    atomic.Int64
+	sum      atomic.Int64
+	min, max atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be sorted ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram for export:
+// individual fields are atomically read, so a snapshot taken while
+// observations are in flight may be off by the in-flight observations
+// but never corrupt.
+type HistSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1, last = overflow
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"` // 0 when Count == 0
+	Max    int64   `json:"max"` // 0 when Count == 0
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for export.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields a
+// zero snapshot with non-nil (empty) maps.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		if hs.Count > 0 {
+			hs.Min = h.min.Load()
+			hs.Max = h.max.Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+// Package obs is the router's flight recorder: a lightweight span tracer
+// with a bounded in-memory ring buffer and a Chrome trace_event exporter
+// (one lane per executor worker, one for the pipeline stages), plus a
+// metrics registry of atomic counters, gauges and fixed-bucket histograms.
+//
+// Observability is strictly passive. The determinism contract of the
+// execution layer (see package par) extends to this package: recording
+// spans or metrics must never change routed geometry, modeled times or
+// reported quality at any worker count — instrumentation reads the
+// wall clock, and the wall clock never feeds a reported metric.
+//
+// Disabled mode is the common case and is engineered to be free: every
+// handle type (*Tracer, *Registry, *Counter, *Gauge, *Histogram, the
+// zero Span) is nil-safe, so instrumented call sites hold possibly-nil
+// handles and call them unconditionally. The hot-path cost of a disabled
+// site is a nil check, or — when a Tracer is installed but switched off —
+// one atomic load. cmd/benchgen -obs proves the end-to-end overhead on
+// the pattern-stage benchmark stays under 2%.
+package obs
+
+// Observer bundles the two observability sinks. A nil *Observer is the
+// disabled mode; both fields are optional, so a caller can trace without
+// metrics or vice versa.
+type Observer struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// T returns the tracer, nil-safely: a nil observer has a nil tracer.
+func (o *Observer) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// M returns the metrics registry, nil-safely.
+func (o *Observer) M() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Enabled reports whether any sink is attached.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Tracer != nil || o.Metrics != nil)
+}
+
+// Shared metric names. Instrumented packages and consumers (the CLI
+// summary, tests) meet on these constants instead of retyping strings.
+const (
+	// MMazeExpansions is the per-search settled-node histogram.
+	MMazeExpansions = "maze.expansions"
+	// MMazePushes counts heap pushes across all maze searches.
+	MMazePushes = "maze.pushes"
+	// MMazeSearches counts RouteNet invocations.
+	MMazeSearches = "maze.searches"
+	// MBatchSize is the Algorithm-1 batch size histogram.
+	MBatchSize = "sched.batch_size"
+	// MSchedBatches counts extracted batches.
+	MSchedBatches = "sched.batches"
+	// MPatternLShape counts two-pin nets routed by the L-shape kernel.
+	MPatternLShape = "pattern.edges.lshape"
+	// MPatternHybrid counts two-pin nets routed by the hybrid kernel.
+	MPatternHybrid = "pattern.edges.hybrid"
+	// MKernelNs is the simulated per-batch kernel time histogram (ns).
+	MKernelNs = "gpu.kernel_ns"
+	// MParWaitNs is the par-pool chunk claim latency histogram (ns from
+	// For() entry to the chunk starting on a worker).
+	MParWaitNs = "par.chunk_wait_ns"
+	// MParRunNs is the par-pool chunk run duration histogram (ns).
+	MParRunNs = "par.chunk_run_ns"
+	// MTaskWaitNs is the taskflow ready-to-start latency histogram (ns).
+	MTaskWaitNs = "taskflow.task_wait_ns"
+	// MTaskRunNs is the taskflow per-task run duration histogram (ns).
+	MTaskRunNs = "taskflow.task_run_ns"
+	// MRRRNets counts nets ripped up across all iterations.
+	MRRRNets = "rrr.nets_ripped"
+	// MRRRExpansions counts maze expansions across all iterations.
+	MRRRExpansions = "rrr.expansions"
+)
+
+// Pow2Buckets returns n histogram upper bounds lo, 2lo, 4lo, ...: the
+// geometric ladder that suits heavy-tailed size and duration counts.
+func Pow2Buckets(lo int64, n int) []int64 {
+	if lo < 1 {
+		lo = 1
+	}
+	b := make([]int64, n)
+	for i := range b {
+		b[i] = lo
+		lo *= 2
+	}
+	return b
+}
+
+// Default bucket ladders for the shared histograms.
+var (
+	// ExpansionBuckets spans 16..512k settled nodes per search.
+	ExpansionBuckets = Pow2Buckets(16, 16)
+	// BatchSizeBuckets spans 1..32k tasks per batch.
+	BatchSizeBuckets = Pow2Buckets(1, 16)
+	// DurationBuckets spans 1µs..32s in nanoseconds.
+	DurationBuckets = Pow2Buckets(1000, 26)
+)

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Coordinator is the worker id of the pipeline's coordinating goroutine:
+// stage-level spans (plan, pattern, rrr, per-batch and per-iteration
+// spans) start with it and land on the dedicated "stages" lane of the
+// exported trace. Executor workers use their pool worker id (>= 0).
+const Coordinator = -1
+
+// Event is one completed span in the ring buffer.
+type Event struct {
+	Name  string
+	Lane  int           // 0 = stages lane, 1+w = worker w's lane
+	Depth int32         // nesting depth within the lane at start time
+	Start time.Duration // offset from the tracer epoch
+	Dur   time.Duration
+}
+
+// Tracer records nested spans into a bounded ring buffer. Build one with
+// NewTracer; the nil *Tracer is the disabled tracer (StartSpan returns
+// the no-op zero Span). A non-nil tracer can also be switched off with
+// SetOn(false), in which case StartSpan costs exactly one atomic load.
+//
+// Recording happens at span end, so buffered events are ordered by end
+// time; the exporter re-sorts by start time. When the ring is full the
+// oldest event is overwritten and counted as dropped.
+type Tracer struct {
+	on    atomic.Bool
+	epoch time.Time
+	now   func() time.Time // injectable clock for deterministic tests
+
+	// depth[lane] tracks live nesting per lane. The worker-id contract
+	// (one goroutine per lane at a time) makes plain counters correct,
+	// but atomics keep the tracer safe even for callers that break it.
+	depth []int32
+
+	mu    sync.Mutex
+	buf   []Event
+	cap   int
+	head  int    // oldest entry once the ring has wrapped
+	total uint64 // events ever recorded, including overwritten ones
+}
+
+// NewTracer returns a tracer that keeps at most capacity events and has
+// one lane per worker in [0, workers) plus the stages lane. Spans from
+// worker ids outside that range are folded onto the stages lane rather
+// than dropped. The tracer starts switched on.
+func NewTracer(capacity, workers int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	t := &Tracer{
+		epoch: time.Now(),
+		now:   time.Now,
+		depth: make([]int32, workers+1),
+		cap:   capacity,
+	}
+	t.on.Store(true)
+	return t
+}
+
+// SetOn switches recording on or off; StartSpan on a switched-off tracer
+// is a single atomic load.
+func (t *Tracer) SetOn(on bool) {
+	if t != nil {
+		t.on.Store(on)
+	}
+}
+
+// On reports whether spans are currently recorded (false for nil).
+func (t *Tracer) On() bool { return t != nil && t.on.Load() }
+
+// setClock pins the clock for deterministic tests.
+func (t *Tracer) setClock(now func() time.Time) {
+	t.now = now
+	t.epoch = now()
+}
+
+// Span is one live span; End records it. The zero Span (from a nil or
+// switched-off tracer) is valid and End is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	lane  int32
+	depth int32
+	start time.Duration
+}
+
+// StartSpan opens a span on the worker's lane (Coordinator for the
+// stages lane). Spans on one lane must end in LIFO order to nest.
+func (t *Tracer) StartSpan(name string, worker int) Span {
+	if t == nil || !t.on.Load() {
+		return Span{}
+	}
+	lane := worker + 1
+	if lane < 0 || lane >= len(t.depth) {
+		lane = 0
+	}
+	d := atomic.AddInt32(&t.depth[lane], 1) - 1
+	return Span{t: t, name: name, lane: int32(lane), depth: d, start: t.now().Sub(t.epoch)}
+}
+
+// End closes the span and records it into the ring buffer.
+func (s Span) End() {
+	t := s.t
+	if t == nil {
+		return
+	}
+	end := t.now().Sub(t.epoch)
+	atomic.AddInt32(&t.depth[s.lane], -1)
+	e := Event{Name: s.name, Lane: int(s.lane), Depth: s.depth, Start: s.start, Dur: end - s.start}
+	t.mu.Lock()
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.head] = e
+		t.head = (t.head + 1) % t.cap
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events in recording (end-time) order:
+// oldest surviving event first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.head:]...)
+	out = append(out, t.buf[:t.head]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten because the ring
+// buffer was full (always the oldest are dropped first).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.buf))
+}
+
+// Recorded reports how many events were ever recorded.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Lanes reports the lane count (workers + the stages lane); 0 for nil.
+func (t *Tracer) Lanes() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.depth)
+}

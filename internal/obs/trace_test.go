@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a deterministic amount per call, so span timestamps
+// and durations are exact in tests.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newFakeTracer(capacity, workers int, step time.Duration) *Tracer {
+	t := NewTracer(capacity, workers)
+	c := &fakeClock{t: time.Unix(0, 0), step: step}
+	t.setClock(c.now)
+	return t
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := newFakeTracer(16, 2, time.Microsecond)
+	// Lane nesting: outer wraps inner on the same worker lane; a span on
+	// another lane and the stages lane interleave independently.
+	outer := tr.StartSpan("outer", 0)
+	inner := tr.StartSpan("inner", 0)
+	other := tr.StartSpan("other", 1)
+	stage := tr.StartSpan("stage", Coordinator)
+	inner.End()
+	other.End()
+	outer.End()
+	stage.End()
+
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	// Recording order is end order.
+	wantOrder := []string{"inner", "other", "outer", "stage"}
+	byName := map[string]Event{}
+	for i, e := range events {
+		if e.Name != wantOrder[i] {
+			t.Errorf("event %d = %q, want %q", i, e.Name, wantOrder[i])
+		}
+		byName[e.Name] = e
+	}
+	if d := byName["outer"].Depth; d != 0 {
+		t.Errorf("outer depth = %d, want 0", d)
+	}
+	if d := byName["inner"].Depth; d != 1 {
+		t.Errorf("inner depth = %d, want 1 (nested under outer)", d)
+	}
+	if d := byName["other"].Depth; d != 0 {
+		t.Errorf("other depth = %d, want 0 (separate lane)", d)
+	}
+	// Lanes: worker w lands on lane w+1, the coordinator on lane 0.
+	if l := byName["outer"].Lane; l != 1 {
+		t.Errorf("outer lane = %d, want 1", l)
+	}
+	if l := byName["other"].Lane; l != 2 {
+		t.Errorf("other lane = %d, want 2", l)
+	}
+	if l := byName["stage"].Lane; l != 0 {
+		t.Errorf("stage lane = %d, want 0", l)
+	}
+	// Interval containment: outer must enclose inner.
+	o, i := byName["outer"], byName["inner"]
+	if !(o.Start < i.Start && o.Start+o.Dur > i.Start+i.Dur) {
+		t.Errorf("outer [%v,%v] does not enclose inner [%v,%v]",
+			o.Start, o.Start+o.Dur, i.Start, i.Start+i.Dur)
+	}
+}
+
+func TestRingBufferOverflowDropsOldest(t *testing.T) {
+	tr := newFakeTracer(4, 1, time.Microsecond)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		sp := tr.StartSpan(n, 0)
+		sp.End()
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if got := tr.Recorded(); got != 6 {
+		t.Fatalf("Recorded = %d, want 6", got)
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d buffered events, want 4", len(events))
+	}
+	// The oldest two (a, b) are gone; survivors keep recording order.
+	want := []string{"c", "d", "e", "f"}
+	for i, e := range events {
+		if e.Name != want[i] {
+			t.Errorf("event %d = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+func TestNilAndDisabledTracerAreNoOps(t *testing.T) {
+	var nilTr *Tracer
+	sp := nilTr.StartSpan("x", 0)
+	sp.End() // must not panic
+	if nilTr.On() || nilTr.Events() != nil || nilTr.Dropped() != 0 || nilTr.Lanes() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	nilTr.SetOn(true) // must not panic
+
+	tr := NewTracer(8, 1)
+	tr.SetOn(false)
+	sp = tr.StartSpan("y", 0)
+	sp.End()
+	if got := tr.Recorded(); got != 0 {
+		t.Fatalf("switched-off tracer recorded %d events", got)
+	}
+	tr.SetOn(true)
+	sp = tr.StartSpan("z", 0)
+	sp.End()
+	if got := tr.Recorded(); got != 1 {
+		t.Fatalf("re-enabled tracer recorded %d events, want 1", got)
+	}
+}
+
+func TestOutOfRangeWorkerFoldsToStagesLane(t *testing.T) {
+	tr := NewTracer(8, 2)
+	sp := tr.StartSpan("wild", 99)
+	sp.End()
+	events := tr.Events()
+	if len(events) != 1 || events[0].Lane != 0 {
+		t.Fatalf("out-of-range worker should fold to lane 0, got %+v", events)
+	}
+}
+
+// TestConcurrentSpans exercises the ring buffer under the race detector:
+// many goroutines record spans on distinct lanes simultaneously.
+func TestConcurrentSpans(t *testing.T) {
+	const workers, perWorker = 8, 200
+	tr := NewTracer(workers*perWorker, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.StartSpan("t", w)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != workers*perWorker {
+		t.Fatalf("Recorded = %d, want %d", got, workers*perWorker)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+}

@@ -15,6 +15,9 @@ package par
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"fastgr/internal/obs"
 )
 
 // Pool is a bounded parallel-for executor. The zero value is unusable; build
@@ -23,6 +26,13 @@ import (
 // caller can size scratch as one object per worker id.
 type Pool struct {
 	workers int
+
+	// Observability handles, resolved once by SetObserver so the chunk
+	// loop never takes the registry lock. All are nil in disabled mode,
+	// where the per-chunk cost is two nil checks.
+	tr   *obs.Tracer
+	wait *obs.Histogram
+	run  *obs.Histogram
 }
 
 // NewPool returns a pool of at least one worker.
@@ -36,6 +46,16 @@ func NewPool(workers int) *Pool {
 // Workers reports the pool's worker bound.
 func (p *Pool) Workers() int { return p.workers }
 
+// SetObserver attaches (or, with nil, detaches) the flight recorder:
+// each claimed chunk then records a span on its worker's lane plus its
+// claim latency and run duration. Call before sharing the pool across
+// goroutines; observation never changes scheduling or results.
+func (p *Pool) SetObserver(o *obs.Observer) {
+	p.tr = o.T()
+	p.wait = o.M().Histogram(obs.MParWaitNs, obs.DurationBuckets)
+	p.run = o.M().Histogram(obs.MParRunNs, obs.DurationBuckets)
+}
+
 // For runs fn(worker, i) for every i in [0, n). At most p.Workers()
 // goroutines run concurrently; the worker argument is in [0, p.Workers())
 // and identifies the goroutine, so fn may use it to index per-worker scratch
@@ -46,11 +66,26 @@ func (p *Pool) For(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
+	observing := p.tr.On() || p.wait != nil
+	var forStart time.Time
+	if observing {
+		forStart = time.Now()
+	}
 	workers := p.workers
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
+		if observing {
+			sp := p.tr.StartSpan("par.chunk", 0)
+			for i := 0; i < n; i++ {
+				fn(0, i)
+			}
+			sp.End()
+			p.wait.Observe(0)
+			p.run.Observe(time.Since(forStart).Nanoseconds())
+			return
+		}
 		for i := 0; i < n; i++ {
 			fn(0, i)
 		}
@@ -77,8 +112,19 @@ func (p *Pool) For(n int, fn func(worker, i int)) {
 				if end > n {
 					end = n
 				}
+				var chunkStart time.Time
+				var sp obs.Span
+				if observing {
+					chunkStart = time.Now()
+					sp = p.tr.StartSpan("par.chunk", worker)
+				}
 				for i := start; i < end; i++ {
 					fn(worker, i)
+				}
+				if observing {
+					sp.End()
+					p.wait.Observe(chunkStart.Sub(forStart).Nanoseconds())
+					p.run.Observe(time.Since(chunkStart).Nanoseconds())
 				}
 			}
 		}(w)

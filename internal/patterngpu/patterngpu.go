@@ -17,6 +17,7 @@ import (
 
 	"fastgr/internal/gpu"
 	"fastgr/internal/grid"
+	"fastgr/internal/obs"
 	"fastgr/internal/par"
 	"fastgr/internal/pattern"
 	"fastgr/internal/stt"
@@ -32,6 +33,12 @@ type Router struct {
 	// evaluation is independent; results, per-net work counters and the
 	// simulated kernel time are bit-identical for every worker count.
 	Workers int
+	// Obs, when non-nil, records per-batch kernel spans, the simulated
+	// kernel-time histogram and the per-shape kernel selection counters.
+	// Observation is per batch, never per net, so the disabled-mode cost
+	// of RouteBatch is a handful of nil checks; RouteBatchBaseline below
+	// is the frozen uninstrumented twin that proves it.
+	Obs *obs.Observer
 }
 
 // New builds a Router with the given device spec and pattern configuration.
@@ -53,6 +60,33 @@ type BatchResult struct {
 // grid is only read; the caller commits the returned routes (the batch is
 // conflict-free, so intra-batch ordering cannot change results).
 func (r *Router) RouteBatch(g *grid.Graph, trees []*stt.Tree) BatchResult {
+	sp := r.Obs.T().StartSpan("gpu.batch", obs.Coordinator)
+	br := r.routeBatch(g, trees)
+	sp.End()
+	if m := r.Obs.M(); m != nil {
+		m.Histogram(obs.MKernelNs, obs.DurationBuckets).Observe(br.KernelTime.Nanoseconds())
+		var hybrid, total int64
+		for _, res := range br.Results {
+			hybrid += int64(res.HybridEdges)
+			total += int64(res.Edges)
+		}
+		m.Counter(obs.MPatternHybrid).Add(hybrid)
+		m.Counter(obs.MPatternLShape).Add(total - hybrid)
+	}
+	return br
+}
+
+// RouteBatchBaseline is the frozen, uninstrumented twin of RouteBatch —
+// the reference side of the observability overhead guard (cmd/benchgen
+// -obs), which fails tier-1 if instrumented-but-disabled RouteBatch ever
+// drifts more than 2% from it. It must stay bit-identical in results and
+// kernel time (TestRouteBatchBaselineIdentical enforces that); it is not
+// meant for production callers.
+func (r *Router) RouteBatchBaseline(g *grid.Graph, trees []*stt.Tree) BatchResult {
+	return r.routeBatch(g, trees)
+}
+
+func (r *Router) routeBatch(g *grid.Graph, trees []*stt.Tree) BatchResult {
 	br := BatchResult{Results: make([]pattern.Result, len(trees))}
 	blocks := make([]gpu.Block, len(trees))
 

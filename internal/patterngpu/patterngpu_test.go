@@ -8,6 +8,7 @@ import (
 	"fastgr/internal/design"
 	"fastgr/internal/gpu"
 	"fastgr/internal/grid"
+	"fastgr/internal/obs"
 	"fastgr/internal/pattern"
 	"fastgr/internal/route"
 	"fastgr/internal/stt"
@@ -145,5 +146,58 @@ func TestDeterministicKernelTiming(t *testing.T) {
 	}
 	if mk() != mk() {
 		t.Fatal("kernel timing not deterministic")
+	}
+}
+
+// TestRouteBatchBaselineIdentical enforces the frozen-twin contract of
+// the observability overhead guard: RouteBatch with a nil observer, an
+// attached observer, and RouteBatchBaseline must produce bit-identical
+// results, work counters and simulated kernel times.
+func TestRouteBatchBaselineIdentical(t *testing.T) {
+	g, trees := setup(t)
+	cfg := pattern.Config{Mode: pattern.Hybrid, Selection: true, T1: 4, T2: 50}
+
+	base := New(gpu.RTX3090(), cfg).RouteBatchBaseline(g, trees)
+	off := New(gpu.RTX3090(), cfg).RouteBatch(g, trees)
+	onR := New(gpu.RTX3090(), cfg)
+	onR.Obs = &obs.Observer{Tracer: obs.NewTracer(1<<10, 1), Metrics: obs.NewRegistry()}
+	on := onR.RouteBatch(g, trees)
+
+	for name, br := range map[string]BatchResult{"disabled": off, "enabled": on} {
+		if br.KernelTime != base.KernelTime || br.SeqOps != base.SeqOps {
+			t.Fatalf("%s: kernel accounting diverged from baseline: %v/%d vs %v/%d",
+				name, br.KernelTime, br.SeqOps, base.KernelTime, base.SeqOps)
+		}
+		for i := range trees {
+			if br.Results[i].Cost != base.Results[i].Cost {
+				t.Fatalf("%s: net %d cost diverged from baseline", name, i)
+			}
+		}
+	}
+}
+
+// TestRouteBatchObservation checks the per-batch metrics: the kernel
+// histogram sees the batch and the per-shape selection counters add up
+// to the routed two-pin nets.
+func TestRouteBatchObservation(t *testing.T) {
+	g, trees := setup(t)
+	r := New(gpu.RTX3090(), pattern.Config{Mode: pattern.Hybrid, Selection: true, T1: 4, T2: 50})
+	r.Obs = &obs.Observer{Metrics: obs.NewRegistry()}
+	br := r.RouteBatch(g, trees)
+
+	var hybrid, total int64
+	for _, res := range br.Results {
+		hybrid += int64(res.HybridEdges)
+		total += int64(res.Edges)
+	}
+	s := r.Obs.Metrics.Snapshot()
+	if got := s.Counters[obs.MPatternHybrid]; got != hybrid {
+		t.Errorf("hybrid counter = %d, want %d", got, hybrid)
+	}
+	if got := s.Counters[obs.MPatternLShape]; got != total-hybrid {
+		t.Errorf("lshape counter = %d, want %d", got, total-hybrid)
+	}
+	if h := s.Histograms[obs.MKernelNs]; h.Count != 1 {
+		t.Errorf("kernel histogram count = %d, want 1", h.Count)
 	}
 }

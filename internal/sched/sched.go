@@ -12,6 +12,7 @@ import (
 
 	"fastgr/internal/design"
 	"fastgr/internal/geom"
+	"fastgr/internal/obs"
 )
 
 // Scheme is an inter-net ordering strategy (Table IV).
@@ -120,6 +121,20 @@ func ExtractBatches(tasks []Task) [][]Task {
 		remaining = rest
 	}
 	return batches
+}
+
+// ObserveBatches records Algorithm-1 batch statistics into the registry:
+// the batch-size histogram the paper's Fig. 9 plots, plus batch and task
+// counters. A nil registry is a no-op; the batches are only read.
+func ObserveBatches(m *obs.Registry, batches [][]Task) {
+	if m == nil {
+		return
+	}
+	h := m.Histogram(obs.MBatchSize, obs.BatchSizeBuckets)
+	m.Counter(obs.MSchedBatches).Add(int64(len(batches)))
+	for _, b := range batches {
+		h.Observe(int64(len(b)))
+	}
 }
 
 // taskBounds returns grid dimensions covering every task bbox, for callers

@@ -6,6 +6,7 @@ import (
 
 	"fastgr/internal/design"
 	"fastgr/internal/geom"
+	"fastgr/internal/obs"
 )
 
 func mkNet(id, pins int, lo, hi geom.Point) *design.Net {
@@ -267,5 +268,27 @@ func TestGraphOnGeneratedDesign(t *testing.T) {
 	batches := ExtractBatches(tasks)
 	if len(batches) < 2 {
 		t.Fatal("expected multiple batches in a clustered design")
+	}
+}
+
+// TestObserveBatches checks the batch-size histogram and batch counter,
+// and that a nil registry is a no-op.
+func TestObserveBatches(t *testing.T) {
+	batches := [][]Task{
+		make([]Task, 3),
+		make([]Task, 1),
+		make([]Task, 7),
+	}
+	ObserveBatches(nil, batches) // must not panic
+
+	r := obs.NewRegistry()
+	ObserveBatches(r, batches)
+	s := r.Snapshot()
+	if got := s.Counters[obs.MSchedBatches]; got != 3 {
+		t.Errorf("batch counter = %d, want 3", got)
+	}
+	h := s.Histograms[obs.MBatchSize]
+	if h.Count != 3 || h.Sum != 11 || h.Min != 1 || h.Max != 7 {
+		t.Errorf("batch-size histogram = %+v, want count=3 sum=11 min=1 max=7", h)
 	}
 }

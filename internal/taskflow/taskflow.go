@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"fastgr/internal/obs"
 	"fastgr/internal/sched"
 )
 
@@ -27,6 +28,16 @@ func Run(g *sched.Graph, workers int, fn func(task int)) {
 // scratch object per worker — e.g. a maze.Search — without locking. A worker
 // id is used by exactly one goroutine for the whole run.
 func RunWorkers(g *sched.Graph, workers int, fn func(worker, task int)) {
+	RunWorkersObserved(g, workers, nil, fn)
+}
+
+// RunWorkersObserved is RunWorkers with a flight recorder attached: each
+// executed task records its ready-to-start latency (obs.MTaskWaitNs, the
+// time between its last predecessor finishing and a worker picking it
+// up) and its run duration (obs.MTaskRunNs). A nil or metrics-less
+// observer adds no timing calls; observation never changes the schedule
+// or the task outcomes.
+func RunWorkersObserved(g *sched.Graph, workers int, o *obs.Observer, fn func(worker, task int)) {
 	n := len(g.Tasks)
 	if n == 0 {
 		return
@@ -35,10 +46,21 @@ func RunWorkers(g *sched.Graph, workers int, fn func(worker, task int)) {
 		workers = 1
 	}
 
+	waitHist := o.M().Histogram(obs.MTaskWaitNs, obs.DurationBuckets)
+	runHist := o.M().Histogram(obs.MTaskRunNs, obs.DurationBuckets)
+	observing := waitHist != nil
+	var readyAt []time.Time
+	if observing {
+		readyAt = make([]time.Time, n)
+	}
+
 	indeg := append([]int(nil), g.Indegree...)
 	ready := make(chan int, n)
 	for i, d := range indeg {
 		if d == 0 {
+			if observing {
+				readyAt[i] = time.Now()
+			}
 			ready <- i
 		}
 	}
@@ -51,12 +73,23 @@ func RunWorkers(g *sched.Graph, workers int, fn func(worker, task int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for t := range ready {
+				var start time.Time
+				if observing {
+					start = time.Now()
+					waitHist.Observe(start.Sub(readyAt[t]).Nanoseconds())
+				}
 				fn(worker, t)
+				if observing {
+					runHist.Observe(time.Since(start).Nanoseconds())
+				}
 				mu.Lock()
 				done++
 				for _, v := range g.Succ[t] {
 					indeg[v]--
 					if indeg[v] == 0 {
+						if observing {
+							readyAt[v] = time.Now()
+						}
 						ready <- v
 					}
 				}

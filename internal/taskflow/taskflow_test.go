@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fastgr/internal/geom"
+	"fastgr/internal/obs"
 	"fastgr/internal/sched"
 )
 
@@ -230,5 +231,36 @@ func TestMakespanEmpty(t *testing.T) {
 	}
 	if BatchMakespan(nil, nil, 4) != 0 {
 		t.Fatal("empty batch makespan not zero")
+	}
+}
+
+// TestRunWorkersObserved checks the wait/run histograms: every task
+// contributes one observation to each, and dependencies still hold.
+func TestRunWorkersObserved(t *testing.T) {
+	const n = 40
+	g := chainGraph(n)
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	var mu sync.Mutex
+	var order []int
+	RunWorkersObserved(g, 4, o, func(_, task int) {
+		mu.Lock()
+		order = append(order, task)
+		mu.Unlock()
+	})
+	if len(order) != n {
+		t.Fatalf("executed %d tasks, want %d", len(order), n)
+	}
+	for i, task := range order {
+		if task != i {
+			t.Fatalf("chain executed out of order at %d: %v", i, order)
+		}
+	}
+	s := o.Metrics.Snapshot()
+	wait, run := s.Histograms[obs.MTaskWaitNs], s.Histograms[obs.MTaskRunNs]
+	if wait.Count != n || run.Count != n {
+		t.Fatalf("wait/run counts = %d/%d, want %d each", wait.Count, run.Count, n)
+	}
+	if wait.Min < 0 || run.Min < 0 {
+		t.Fatalf("negative durations: wait min %d, run min %d", wait.Min, run.Min)
 	}
 }

@@ -2,10 +2,14 @@
 # Tier-1 verification: the gate every PR must keep green.
 # Vet + build + full test suite, then the race detector over the packages
 # that execute host-parallel (the determinism contract is only meaningful
-# if it holds under -race).
+# if it holds under -race; internal/core includes the tracing-enabled
+# determinism suite, internal/obs the concurrent recorder tests), and
+# finally the observability overhead guard: benchgen -obs fails if the
+# disabled-mode cost on the pattern-stage batch workload exceeds 2%.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/par ./internal/core ./internal/taskflow
+go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs
+go run ./cmd/benchgen -obs -o BENCH_obs.json
