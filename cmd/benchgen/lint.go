@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fastgr/internal/lint"
+)
+
+// lintReport records the cost of the static invariant net so analyzer
+// runtime stays visible as the tree grows: fastgrlint is a tier-1 gate,
+// and a gate that creeps from seconds to minutes is a regression like
+// any other.
+type lintReport struct {
+	Packages    int     `json:"packages"`
+	Files       int     `json:"files"`
+	Findings    int     `json:"findings"`
+	WallMs      float64 `json:"wall_ms"`
+	FilesPerSec float64 `json:"files_per_sec"`
+}
+
+// runLint measures one cold run of the full suite (loading, type
+// checking and every check, gofmt verification included) over the whole
+// module — the same configuration tier1.sh gates on.
+func runLint(out string) error {
+	moduleDir, err := lintModuleRoot()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	loader, err := lint.NewLoader(moduleDir)
+	if err != nil {
+		return err
+	}
+	runner := &lint.Runner{Loader: loader, Policy: lint.DefaultPolicy(), Gofmt: true}
+	findings, err := runner.Run("./...")
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	dirs, err := loader.PackageDirs([]string{"./..."})
+	if err != nil {
+		return err
+	}
+	files := 0
+	for _, dir := range dirs {
+		p, err := loader.LoadDir(dir)
+		if err != nil {
+			continue
+		}
+		files += len(p.FileNames)
+	}
+
+	rep := lintReport{
+		Packages: len(dirs),
+		Files:    files,
+		Findings: len(findings),
+		WallMs:   float64(wall.Microseconds()) / 1e3,
+	}
+	if wall > 0 {
+		rep.FilesPerSec = float64(files) / wall.Seconds()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	fmt.Printf("lint: %d packages, %d files, %d findings in %.0fms (%.0f files/sec)\n",
+		rep.Packages, rep.Files, rep.Findings, rep.WallMs, rep.FilesPerSec)
+	return nil
+}
+
+// lintModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func lintModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

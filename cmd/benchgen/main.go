@@ -10,6 +10,7 @@
 //	benchgen -design 19test7m -scale 0.02 -o 19test7m.txt
 //	benchgen -hostpar -o BENCH_hostpar.json
 //	benchgen -obs -o BENCH_obs.json
+//	benchgen -lint -o BENCH_lint.json
 package main
 
 import (
@@ -23,13 +24,14 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list benchmark names")
-		table3  = flag.Bool("table3", false, "print Table III (benchmark statistics)")
-		name    = flag.String("design", "", "generate this benchmark")
-		scale   = flag.Float64("scale", 0.01, "benchmark scale in (0,1]")
-		out     = flag.String("o", "", "write the output to this file (default stdout)")
-		hostpar = flag.Bool("hostpar", false, "measure host-parallel execution benchmarks and emit JSON")
-		obsFlag = flag.Bool("obs", false, "measure observability overhead on the pattern stage and emit JSON (fails if disabled-mode overhead exceeds the budget)")
+		list     = flag.Bool("list", false, "list benchmark names")
+		table3   = flag.Bool("table3", false, "print Table III (benchmark statistics)")
+		name     = flag.String("design", "", "generate this benchmark")
+		scale    = flag.Float64("scale", 0.01, "benchmark scale in (0,1]")
+		out      = flag.String("o", "", "write the output to this file (default stdout)")
+		hostpar  = flag.Bool("hostpar", false, "measure host-parallel execution benchmarks and emit JSON")
+		obsFlag  = flag.Bool("obs", false, "measure observability overhead on the pattern stage and emit JSON (fails if disabled-mode overhead exceeds the budget)")
+		lintFlag = flag.Bool("lint", false, "measure the fastgrlint suite over the whole module and emit JSON (files/sec, findings)")
 	)
 	flag.Parse()
 
@@ -40,6 +42,10 @@ func main() {
 		}
 	case *obsFlag:
 		if err := runObs(*out); err != nil {
+			fatal(err)
+		}
+	case *lintFlag:
+		if err := runLint(*out); err != nil {
 			fatal(err)
 		}
 	case *list:

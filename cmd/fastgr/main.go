@@ -80,6 +80,7 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
+		//lint:ignore goroutine-hygiene pprof listener lives for the whole process and touches no routing state
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "fastgr: pprof:", err)

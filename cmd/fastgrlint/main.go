@@ -1,0 +1,83 @@
+// Command fastgrlint runs the repo's static invariant net (package
+// internal/lint) over the tree: determinism-critical packages may not
+// read the wall clock or the global rand source, map iteration may not
+// produce order-sensitive output, goroutines spawn only through the
+// executor packages, internal/obs stays nil-safe, and atomically
+// accessed fields stay atomic everywhere. See DESIGN.md, "Static
+// invariants".
+//
+// Usage:
+//
+//	fastgrlint [-fmt] [packages]
+//
+// Packages are directories relative to the module root; "dir/..."
+// walks recursively and the default is "./...". Exit status is 0 on a
+// clean tree, 1 when there are findings, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fastgr/internal/lint"
+)
+
+func main() {
+	gofmt := flag.Bool("fmt", false, "also verify every .go file (tests included) is gofmt-formatted")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fastgrlint [-fmt] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(moduleDir)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	runner := &lint.Runner{Loader: loader, Policy: lint.DefaultPolicy(), Gofmt: *gofmt}
+	findings, err := runner.Run(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f.Render(moduleDir))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fastgrlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("fastgrlint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fastgrlint:", err)
+	os.Exit(2)
+}

@@ -262,7 +262,7 @@ func (r *runner) run() (*Result, error) {
 // estimator is a read-only snapshot and each net writes only its own tree
 // slot — so construction fans out over the executor pool.
 func (r *runner) plan() {
-	start := time.Now()
+	start := obs.StartStopwatch()
 	sp := r.opt.Obs.T().StartSpan("plan", obs.Coordinator)
 	defer sp.End()
 	est := r.g.Estimator2D()
@@ -282,13 +282,13 @@ func (r *runner) plan() {
 		}
 		r.trees[n.ID] = t
 	})
-	r.rep.Times.PlanWall = time.Since(start)
+	r.rep.Times.PlanWall = start.Elapsed()
 }
 
 // patternStage routes every net with the variant's pattern kernel, batch by
 // batch, committing demand after each batch.
 func (r *runner) patternStage() {
-	start := time.Now()
+	start := obs.StartStopwatch()
 	tr := r.opt.Obs.T()
 	sp := tr.StartSpan("pattern", obs.Coordinator)
 	defer sp.End()
@@ -374,7 +374,7 @@ func (r *runner) patternStage() {
 	}
 	r.rep.PatternQuality = r.snapshotQuality()
 	r.rep.PatternScore = r.rep.PatternQuality.Score()
-	r.rep.Times.PatternWall = time.Since(start)
+	r.rep.Times.PatternWall = start.Elapsed()
 }
 
 // batchSpan opens a per-batch span on the stages lane; the formatting
@@ -389,7 +389,7 @@ func batchSpan(tr *obs.Tracer, batch int) obs.Span {
 // rrrStage runs the rip-up-and-reroute iterations with the variant's
 // scheduling strategy.
 func (r *runner) rrrStage() error {
-	start := time.Now()
+	start := obs.StartStopwatch()
 	tr := r.opt.Obs.T()
 	stageSp := tr.StartSpan("rrr", obs.Coordinator)
 	defer stageSp.End()
@@ -537,7 +537,7 @@ func (r *runner) rrrStage() error {
 		}
 		iterSp.End()
 	}
-	r.rep.Times.MazeWall = time.Since(start)
+	r.rep.Times.MazeWall = start.Elapsed()
 	return nil
 }
 

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkAtomic enforces atomic-consistency across the whole package set:
+// a struct field that is ever passed by address to a sync/atomic
+// function must never be read or written plainly anywhere else — mixed
+// access is a data race the race detector only catches when the two
+// sites actually collide. Fields of the atomic.Int64-style wrapper
+// types are safe by construction and not tracked; neither are atomic
+// operations on slice elements (&x.buf[i]), since the slice header
+// itself is still plainly accessed.
+//
+// The check is two passes over the loaded ASTs: pass one records the
+// field objects (and the exact &x.f nodes) used atomically, pass two
+// flags every other selector of those fields.
+func checkAtomic(pkgs []*Package) []Finding {
+	atomicFields := map[*types.Var]bool{}
+	atomicSites := map[*ast.SelectorExpr]bool{}
+
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(p, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldOf(p, sel); v != nil {
+						atomicFields[v] = true
+						atomicSites[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSites[sel] {
+					return true
+				}
+				v := fieldOf(p, sel)
+				if v == nil || !atomicFields[v] {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:    p.Fset.Position(sel.Pos()),
+					Check:  CheckAtomic,
+					Msg:    "field " + v.Name() + " is accessed atomically elsewhere but plainly here",
+					Remedy: "use sync/atomic at every access (or an atomic.Int64-style field), or suppress with //lint:ignore atomic-consistency <reason>",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isAtomicCall reports whether the call is a sync/atomic package
+// function taking an address (Add*, Load*, Store*, Swap*,
+// CompareAndSwap*).
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkDetmap flags `range` over a map whose body accumulates
+// order-sensitive state — appends to a slice, sends on a channel, or
+// concatenates onto a string — unless the enclosing function
+// canonicalizes afterwards with a sort (a call into package sort or
+// slices positioned after the loop). Go randomizes map iteration order,
+// so an unsorted accumulation is output that changes run to run.
+func checkDetmap(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapExpr(p, rs.X) {
+					return true
+				}
+				kind := orderSensitiveAccumulation(p, rs)
+				if kind == "" {
+					return true
+				}
+				if sortedAfter(p, fd.Body, rs.End()) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:    p.Fset.Position(rs.For),
+					Check:  CheckDetmap,
+					Msg:    "map iteration accumulates order-sensitive state (" + kind + ") with no canonicalizing sort after the loop",
+					Remedy: "sort the result before it is observed, or suppress with //lint:ignore detmap <reason>",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func isMapExpr(p *Package, x ast.Expr) bool {
+	tv, ok := p.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderSensitiveAccumulation scans a range body for the accumulation
+// shapes whose result depends on iteration order. Writes into another
+// map are fine (maps are unordered on both sides); plain counters
+// commute; slices grown across iterations, channels and strings do
+// not. Two append shapes are order-insensitive and skipped: a result
+// landing in a variable declared inside the loop body (per-iteration
+// state), and a slot indexed by the range key itself (each iteration
+// owns a distinct slot, so iterations commute).
+func orderSensitiveAccumulation(p *Package, rs *ast.RangeStmt) string {
+	body := rs.Body
+	kind := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			kind = "send on a channel"
+			return false
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+				if tv, ok := p.Info.Types[s.Lhs[0]]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						kind = "string concatenation"
+						return false
+					}
+				}
+			}
+			for i, rhs := range s.Rhs {
+				if !isAppendCall(p, rhs) || i >= len(s.Lhs) {
+					continue
+				}
+				if declaredWithin(p, s.Lhs[i], body) {
+					continue // per-iteration slice, order-insensitive
+				}
+				if indexedByRangeKey(p, s.Lhs[i], rs) {
+					continue // per-key slot, iterations commute
+				}
+				kind = "append to a slice"
+				return false
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+func isAppendCall(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// indexedByRangeKey reports whether the assignment target is an index
+// expression whose index is the loop's own range key — map keys are
+// unique, so each iteration writes a distinct slot.
+func indexedByRangeKey(p *Package, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	idxID, ok := ix.Index.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	idxObj := p.Info.Uses[idxID]
+	keyObj := p.Info.Defs[keyID]
+	if keyObj == nil {
+		keyObj = p.Info.Uses[keyID]
+	}
+	return idxObj != nil && idxObj == keyObj
+}
+
+// declaredWithin reports whether the assignment target is a plain
+// variable whose declaration lies inside the given body.
+func declaredWithin(p *Package, lhs ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}
+
+// sortedAfter reports whether the function body calls into package sort
+// or slices at a position after pos — the collect-then-sort idiom that
+// makes a map-ranged accumulation canonical.
+func sortedAfter(p *Package, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := p.Info.Uses[x].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "sort", "slices":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// allowedRand are the math/rand selectors that do NOT touch the
+// process-global source: constructors and type names. Everything else
+// (Intn, Float64, Perm, Shuffle, Seed, Read, ...) draws from the
+// unseeded global generator and is nondeterministic across runs.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+// checkDetwall flags wall-clock reads (time.Now, time.Since) and
+// global-source math/rand calls in determinism-critical packages.
+// Instrumentation timing belongs in internal/obs (obs.StartStopwatch);
+// randomness must thread an explicitly seeded *rand.Rand.
+func checkDetwall(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if name := sel.Sel.Name; name == "Now" || name == "Since" {
+					out = append(out, Finding{
+						Pos:    p.Fset.Position(sel.Pos()),
+						Check:  CheckDetwall,
+						Msg:    "wall-clock read (time." + name + ") in a determinism-critical package",
+						Remedy: "route timing through internal/obs (obs.StartStopwatch) or suppress with //lint:ignore detwall <reason>",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if name := sel.Sel.Name; !allowedRand[name] {
+					out = append(out, Finding{
+						Pos:    p.Fset.Position(sel.Pos()),
+						Check:  CheckDetwall,
+						Msg:    "global-source rand." + name + " in a determinism-critical package",
+						Remedy: "thread a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

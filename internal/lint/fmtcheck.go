@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"bytes"
+	"go/format"
+	"go/token"
+	"os"
+	"path/filepath"
+)
+
+// position anchors a whole-file finding at line 1.
+func position(file string) token.Position {
+	return token.Position{Filename: file, Line: 1}
+}
+
+// checkGofmt verifies every .go file of the given package directories —
+// tests included — is gofmt-formatted, so formatting drift fails tier 1
+// instead of polluting later diffs.
+func checkGofmt(dirs []string) []Finding {
+	var out []Finding
+	for _, dir := range dirs {
+		names, err := goFilesIn(dir)
+		if err != nil {
+			continue
+		}
+		tests, _ := TestGoFiles(dir)
+		for _, name := range append(names, tests...) {
+			full := filepath.Join(dir, name)
+			src, err := os.ReadFile(full)
+			if err != nil {
+				continue
+			}
+			formatted, err := format.Source(src)
+			if err != nil {
+				// Unparseable files surface as build/type errors elsewhere.
+				continue
+			}
+			if !bytes.Equal(src, formatted) {
+				out = append(out, Finding{
+					Pos:    position(full),
+					Check:  CheckGofmt,
+					Msg:    "file is not gofmt-formatted",
+					Remedy: "run gofmt -w " + name,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "go/ast"
+
+// checkGoroutine flags bare go statements outside the sanctioned
+// executor packages (internal/par, internal/taskflow, internal/obs).
+// All worker spawning must go through the pool or the taskflow
+// executor: they are what make parallel execution deterministic and
+// keep the tracer's one-goroutine-per-lane invariant true.
+func checkGoroutine(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:    p.Fset.Position(gs.Pos()),
+				Check:  CheckGoroutine,
+				Msg:    "bare go statement outside the executor packages",
+				Remedy: "run the work through par.Pool or taskflow, or suppress with //lint:ignore goroutine-hygiene <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package lint is fastgr's static-analysis net: a small analyzer
+// framework built only on the standard library's go/parser, go/ast and
+// go/types (no golang.org/x/tools — the tree must build offline and
+// dependency-free) plus the checks that machine-enforce the repo's two
+// load-bearing contracts:
+//
+//   - determinism — routed geometry, modeled times and reported quality
+//     are bit-identical at every ExecWorkers count (package par's
+//     contract, proven by core's determinism suite);
+//   - passive observability — package obs may time things, but nil
+//     handles are no-ops and the wall clock never feeds a result.
+//
+// Checks report Findings; a finding can be suppressed with a
+//
+//	//lint:ignore <check> <reason>
+//
+// comment on, or on the line above, the offending line. Suppressions
+// are themselves verified: one without a reason, or one that matches no
+// finding, is an error — the suppression table can only shrink.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Check names. The policy table and suppression comments refer to these.
+const (
+	CheckDetwall     = "detwall"
+	CheckDetmap      = "detmap"
+	CheckGoroutine   = "goroutine-hygiene"
+	CheckObsNilsafe  = "obs-nilsafe"
+	CheckAtomic      = "atomic-consistency"
+	CheckSuppression = "suppression" // meta-check: malformed or unused //lint:ignore
+	CheckGofmt       = "gofmt"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Pos    token.Position
+	Check  string
+	Msg    string
+	Remedy string // one-line fix hint, rendered after the message
+}
+
+// String renders the finding as file:line: [check] message (remedy),
+// with the file relative to dir when possible.
+func (f Finding) String() string { return f.Render("") }
+
+// Render is String with file paths shown relative to dir.
+func (f Finding) Render(dir string) string {
+	file := f.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	s := fmt.Sprintf("%s:%d: [%s] %s", file, f.Pos.Line, f.Check, f.Msg)
+	if f.Remedy != "" {
+		s += " (" + f.Remedy + ")"
+	}
+	return s
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Runner applies the policy table to a set of packages and returns the
+// surviving findings.
+type Runner struct {
+	Loader *Loader
+	Policy Policy
+	// Gofmt additionally verifies that every .go file (tests included)
+	// is gofmt-formatted — the driver's -fmt flag.
+	Gofmt bool
+}
+
+// Run lints the packages matched by the patterns (driver syntax: a
+// directory, or dir/... for a recursive walk) and returns all findings,
+// sorted by position. An empty slice means the tree is clean.
+func (r *Runner) Run(patterns ...string) ([]Finding, error) {
+	dirs, err := r.Loader.PackageDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := r.Loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	var findings []Finding
+	for _, p := range pkgs {
+		var raw []Finding
+		if r.Policy.detwallApplies(p.Path) {
+			raw = append(raw, checkDetwall(p)...)
+		}
+		if r.Policy.detmapApplies(p.Path) {
+			raw = append(raw, checkDetmap(p)...)
+		}
+		if !r.Policy.goroutineAllowed(p.Path) {
+			raw = append(raw, checkGoroutine(p)...)
+		}
+		if r.Policy.nilsafeApplies(p.Path) {
+			raw = append(raw, checkNilsafe(p)...)
+		}
+		findings = append(findings, applySuppressions(p, raw)...)
+	}
+
+	// atomic-consistency is cross-package: a field atomically written in
+	// one package and plainly read in another is exactly the bug class.
+	atomicRaw := checkAtomic(pkgs)
+	findings = append(findings, applySuppressionsByFile(pkgs, atomicRaw)...)
+
+	if r.Gofmt {
+		findings = append(findings, checkGofmt(dirs)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// applySuppressions matches a package's raw findings against its
+// //lint:ignore comments: matched findings are dropped, malformed or
+// unused suppressions become findings of their own.
+func applySuppressions(p *Package, raw []Finding) []Finding {
+	var sups []*suppression
+	for _, s := range collectSuppressions(p) {
+		if s.check != CheckAtomic { // cross-package checks match later
+			sups = append(sups, s)
+		}
+	}
+	return matchSuppressions(sups, raw)
+}
+
+// applySuppressionsByFile applies suppressions for findings produced by
+// a cross-package check: each finding is matched against the
+// suppressions of the package that owns its file. Suppressions that a
+// per-package pass already consumed are not re-collected here — only
+// suppressions naming the cross-package checks are considered.
+func applySuppressionsByFile(pkgs []*Package, raw []Finding) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		var sups []*suppression
+		for _, s := range collectSuppressions(p) {
+			if s.check == CheckAtomic {
+				sups = append(sups, s)
+			}
+		}
+		var mine []Finding
+		for _, f := range raw {
+			for _, name := range p.FileNames {
+				if f.Pos.Filename == name {
+					mine = append(mine, f)
+					break
+				}
+			}
+		}
+		out = append(out, matchSuppressions(sups, mine)...)
+	}
+	return out
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+// collectSuppressions parses every //lint:ignore comment of the
+// package's non-test files.
+func collectSuppressions(p *Package) []*suppression {
+	var sups []*suppression
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				s := &suppression{pos: p.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					s.check = fields[0]
+					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups
+}
+
+// matchSuppressions drops findings covered by a suppression for the
+// same check on the same or the preceding line, then reports malformed
+// (no reason) and unused suppressions as findings.
+func matchSuppressions(sups []*suppression, raw []Finding) []Finding {
+	var out []Finding
+	for _, f := range raw {
+		suppressed := false
+		for _, s := range sups {
+			if s.check != f.Check || s.pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if s.pos.Line == f.Pos.Line || s.pos.Line == f.Pos.Line-1 {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case s.check == "" || s.reason == "":
+			out = append(out, Finding{
+				Pos:    s.pos,
+				Check:  CheckSuppression,
+				Msg:    "malformed suppression: want //lint:ignore <check> <reason>",
+				Remedy: "state which check is silenced and why",
+			})
+		case !s.used:
+			out = append(out, Finding{
+				Pos:    s.pos,
+				Check:  CheckSuppression,
+				Msg:    fmt.Sprintf("unused suppression for %q: no finding on this or the next line", s.check),
+				Remedy: "delete the comment; suppressions must be load-bearing",
+			})
+		}
+	}
+	return out
+}

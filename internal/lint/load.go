@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module
+// under analysis. Type checking is best-effort: unresolved stdlib
+// symbols degrade the Info tables instead of aborting the load, so the
+// syntactic checks always run and the type-aware checks analyze
+// whatever resolved (TypeErrors records what did not).
+type Package struct {
+	Path       string // import path, e.g. fastgr/internal/maze
+	Dir        string // absolute directory
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test files, in file-name order
+	FileNames  []string    // absolute paths, parallel to Files
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader loads packages of a single module from source, resolving
+// module-internal imports recursively and standard-library imports
+// through the stdlib source importer (we are offline and dependency-free:
+// no export data, no golang.org/x/tools). Imports that cannot be
+// resolved are replaced by empty placeholder packages so analysis
+// degrades gracefully.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	std     types.ImporterFrom
+	stdErrs map[string]bool
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader opens the module rooted at moduleDir (the directory holding
+// go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		stdErrs:    map[string]bool{},
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	if src, ok := importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom); ok {
+		l.std = src
+	}
+	return l, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// dirFor maps an import path inside the module to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// pathFor maps a directory inside the module to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDir loads the package in the given directory (absolute or
+// relative to the module root).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.ModuleDir, dir)
+	}
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path)
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		p.Files = append(p.Files, f)
+		p.FileNames = append(p.FileNames, full)
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	// Check never fully fails with an Error handler installed; partial
+	// type information is exactly what we want.
+	p.Types, _ = conf.Check(path, l.Fset, p.Files, p.Info)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// goFilesIn lists the non-test .go files of a directory in sorted order.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TestGoFiles lists the _test.go files alongside a package (used only by
+// the gofmt check; the analyzers run on non-test files).
+func TestGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loaderImporter adapts Loader to types.ImporterFrom: module-internal
+// imports load recursively from source; everything else goes to the
+// stdlib source importer, falling back to an empty placeholder package
+// (marked complete) when that fails — e.g. cgo-dependent packages.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if l.std != nil && !l.stdErrs[path] {
+		pkg, err := l.std.ImportFrom(path, dir, 0)
+		if err == nil {
+			return pkg, nil
+		}
+		l.stdErrs[path] = true
+	}
+	base := path
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	pkg := types.NewPackage(path, base)
+	pkg.MarkComplete()
+	return pkg, nil
+}
+
+// PackageDirs expands the driver's path arguments into package
+// directories: "dir/..." walks recursively, anything else names one
+// directory. testdata, hidden and underscore directories are skipped,
+// as are nested modules.
+func (l *Loader) PackageDirs(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) error {
+		names, err := goFilesIn(dir)
+		if err != nil || len(names) == 0 {
+			return nil // not a package; fine for recursive walks
+		}
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		if pat == "" || pat == "." {
+			pat = l.ModuleDir
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(l.ModuleDir, pat)
+		}
+		if !recursive {
+			if err := add(pat); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pat && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if p != pat {
+				if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			return add(p)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkNilsafe enforces the flight recorder's disabled-mode contract:
+// every exported method with a pointer receiver must begin with a
+// nil-receiver guard, so instrumented call sites can hold possibly-nil
+// handles and call them unconditionally. Accepted first statements:
+//
+//	if recv == nil { ... }          // early return / early default
+//	if recv != nil { ... }          // whole body behind the guard
+//	return recv != nil && ...       // single-expression predicates
+func checkNilsafe(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			if _, ptr := fd.Recv.List[0].Type.(*ast.StarExpr); !ptr {
+				continue
+			}
+			recv := receiverName(fd)
+			if recv == "" || recv == "_" {
+				continue // receiver never dereferenced by name
+			}
+			if len(fd.Body.List) == 0 {
+				continue // empty body cannot dereference
+			}
+			if nilGuarded(fd.Body.List[0], recv) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:    p.Fset.Position(fd.Name.Pos()),
+				Check:  CheckObsNilsafe,
+				Msg:    "exported pointer-receiver method " + fd.Name.Name + " does not begin with a nil-receiver guard",
+				Remedy: "open with `if " + recv + " == nil { ... }` so nil handles stay no-ops",
+			})
+		}
+	}
+	return out
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// nilGuarded reports whether stmt is a recognized nil guard for recv.
+func nilGuarded(stmt ast.Stmt, recv string) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		return containsNilCmp(s.Cond, recv)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if containsNilCmp(res, recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsNilCmp reports whether the expression contains a comparison
+// of the receiver against nil (either direction, == or !=).
+func containsNilCmp(e ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if isIdent(b.X, recv) && isIdent(b.Y, "nil") ||
+			isIdent(b.X, "nil") && isIdent(b.Y, recv) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

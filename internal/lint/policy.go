@@ -1,0 +1,81 @@
+package lint
+
+import "strings"
+
+// Policy is the per-package rule table: which packages each check
+// applies to. Paths are import paths; a trailing "/..." matches the
+// whole subtree.
+type Policy struct {
+	// DetwallExempt lists packages allowed to read the wall clock or
+	// the process-global rand source. Everything else in scope of the
+	// run is determinism-critical: findings there must be fixed (route
+	// timing through internal/obs, thread a seeded rand.Source) or carry
+	// a justified suppression.
+	DetwallExempt []string
+	// DetmapExempt lists packages where order-sensitive accumulation
+	// from map iteration is tolerated without a canonicalizing sort.
+	DetmapExempt []string
+	// GoroutineAllowed lists the packages permitted to contain bare go
+	// statements. All other worker spawning must go through the par pool
+	// or the taskflow executor so the determinism contract and the
+	// tracer's one-goroutine-per-lane invariant hold.
+	GoroutineAllowed []string
+	// NilsafePackages lists the packages whose exported pointer-receiver
+	// methods must open with a nil-receiver guard (the flight recorder's
+	// disabled-mode contract).
+	NilsafePackages []string
+}
+
+// DefaultPolicy is the rule table for the fastgr module itself.
+//
+//   - internal/obs and internal/par are the two sanctioned wall-clock
+//     readers: obs is the observability choke point (package comment:
+//     "the wall clock never feeds a reported metric"), par times its
+//     chunks for the span lanes. cmd and examples are human-facing
+//     programs, free to print timestamps.
+//   - goroutines may only be spawned by the par pool, the taskflow
+//     executor and obs itself; cmd binaries needing a service goroutine
+//     (e.g. the pprof listener) must justify it with a suppression.
+//   - internal/obs carries the nil-safety contract.
+func DefaultPolicy() Policy {
+	return Policy{
+		DetwallExempt: []string{
+			"fastgr/internal/obs",
+			"fastgr/internal/par",
+			"fastgr/cmd/...",
+			"fastgr/examples/...",
+		},
+		DetmapExempt: nil, // export paths canonicalize; none exempt today
+		GoroutineAllowed: []string{
+			"fastgr/internal/par",
+			"fastgr/internal/taskflow",
+			"fastgr/internal/obs",
+		},
+		NilsafePackages: []string{
+			"fastgr/internal/obs",
+		},
+	}
+}
+
+// matchPath reports whether an import path matches a pattern list entry
+// (exact, or subtree via a trailing "/...").
+func matchPath(pattern, path string) bool {
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == rest || strings.HasPrefix(path, rest+"/")
+	}
+	return path == pattern
+}
+
+func matchAny(patterns []string, path string) bool {
+	for _, p := range patterns {
+		if matchPath(p, path) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p Policy) detwallApplies(path string) bool   { return !matchAny(p.DetwallExempt, path) }
+func (p Policy) detmapApplies(path string) bool    { return !matchAny(p.DetmapExempt, path) }
+func (p Policy) goroutineAllowed(path string) bool { return matchAny(p.GoroutineAllowed, path) }
+func (p Policy) nilsafeApplies(path string) bool   { return matchAny(p.NilsafePackages, path) }

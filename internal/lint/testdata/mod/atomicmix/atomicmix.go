@@ -1,0 +1,34 @@
+// Package atomicmix exercises atomic-consistency: a field touched via
+// sync/atomic anywhere must never be accessed plainly elsewhere.
+package atomicmix
+
+import "sync/atomic"
+
+// Stats mixes access styles on Hits; Exact is the clean wrapper style.
+type Stats struct {
+	Hits  int64 // accessed both atomically and plainly: fires below
+	Exact atomic.Int64
+}
+
+// Record is the atomic writer that puts Hits under the contract.
+func (s *Stats) Record() {
+	atomic.AddInt64(&s.Hits, 1)
+	s.Exact.Add(1)
+}
+
+// Peek fires: plain read of an atomically written field.
+func (s *Stats) Peek() int64 {
+	return s.Hits
+}
+
+// PeekSettled is suppressed: the caller guarantees quiescence.
+func (s *Stats) PeekSettled() int64 {
+	//lint:ignore atomic-consistency read happens after all writers joined
+	return s.Hits
+}
+
+// PeekExact is clean: wrapper-type fields are atomic at every access by
+// construction.
+func (s *Stats) PeekExact() int64 {
+	return s.Exact.Load()
+}

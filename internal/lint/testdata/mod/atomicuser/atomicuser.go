@@ -1,0 +1,12 @@
+// Package atomicuser proves atomic-consistency is cross-package: the
+// atomic writer lives in package atomicmix, the plain access here still
+// fires.
+package atomicuser
+
+import "fixture/atomicmix"
+
+// Tamper fires: plain write to a field package atomicmix updates
+// atomically.
+func Tamper(s *atomicmix.Stats) {
+	s.Hits = 0
+}

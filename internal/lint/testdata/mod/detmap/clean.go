@@ -1,0 +1,45 @@
+package detmap
+
+import "sort"
+
+// CollectSorted is clean: the collect-then-sort idiom canonicalizes the
+// map-ordered accumulation before anyone observes it.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerIteration is clean: each iteration appends into a slice declared
+// inside the loop body, so nothing accumulates across iterations.
+func PerIteration(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		out[k] = doubled
+	}
+	return out
+}
+
+// PerKeySlot is clean: the append target is indexed by the range key,
+// so every iteration owns a distinct slot and iterations commute.
+func PerKeySlot(m map[string]int, out map[string][]int) {
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+}
+
+// CountValues is clean: integer accumulation commutes.
+func CountValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

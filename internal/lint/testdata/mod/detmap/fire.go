@@ -1,0 +1,29 @@
+// Package detmap exercises the detmap check: order-sensitive
+// accumulation from map iteration.
+package detmap
+
+// CollectUnsorted fires: the keys land in a slice in map-iteration
+// order and no sort follows.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SendUnsorted fires: values leave on a channel in map-iteration order.
+func SendUnsorted(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// ConcatUnsorted fires: string concatenation in map-iteration order.
+func ConcatUnsorted(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package detmap
+
+// Consumed is suppressed: the caller is documented to treat the result
+// as a set.
+func Consumed(m map[string]int) []string {
+	var keys []string
+	//lint:ignore detmap result is consumed as a set; order never observed
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

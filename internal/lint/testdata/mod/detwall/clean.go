@@ -1,0 +1,17 @@
+package detwall
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SeededRand is clean: the generator is explicitly seeded and threaded.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// DurationMath is clean: time.Duration arithmetic never reads the clock.
+func DurationMath(d time.Duration) time.Duration {
+	return 2 * d
+}

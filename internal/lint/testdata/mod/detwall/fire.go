@@ -1,0 +1,20 @@
+// Package detwall exercises the detwall check: wall-clock reads and
+// global-source rand calls in a determinism-critical package fire.
+package detwall
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock fires twice: time.Now and time.Since.
+func WallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// GlobalRand fires: rand.Intn draws from the unseeded process-global
+// source.
+func GlobalRand() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,23 @@
+package detwall
+
+import "time"
+
+// Suppressed carries a justified suppression: no finding survives.
+func Suppressed() time.Time {
+	//lint:ignore detwall observational timestamp for a log line, never fed back into results
+	return time.Now()
+}
+
+// Unjustified has a suppression with no reason: the suppression itself
+// is reported even though it covers a real finding.
+func Unjustified() time.Time {
+	//lint:ignore detwall
+	return time.Now()
+}
+
+// Dangling has a suppression on a line with no finding: reported as
+// unused.
+func Dangling() int {
+	//lint:ignore detwall nothing actually happens on the next line
+	return 4
+}

@@ -1,0 +1,10 @@
+// Package exempt is on the policy's DetwallExempt list: wall-clock
+// reads here are sanctioned and produce no finding.
+package exempt
+
+import "time"
+
+// Timestamp reads the clock freely.
+func Timestamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,42 @@
+// Package nilsafe exercises obs-nilsafe: exported pointer-receiver
+// methods must open with a nil-receiver guard.
+package nilsafe
+
+// Handle mimics an observability handle whose nil value is the
+// disabled mode.
+type Handle struct{ n int64 }
+
+// Add is clean: the whole body sits behind the guard.
+func (h *Handle) Add(n int64) {
+	if h != nil {
+		h.n += n
+	}
+}
+
+// Value is clean: early return on nil.
+func (h *Handle) Value() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Enabled is clean: single-expression nil predicate.
+func (h *Handle) Enabled() bool { return h != nil && h.n > 0 }
+
+// Reset fires: no guard, a nil Handle panics.
+func (h *Handle) Reset() {
+	h.n = 0
+}
+
+// Bump is suppressed.
+//
+//lint:ignore obs-nilsafe constructor-only helper, documented non-nil receiver
+func (h *Handle) Bump() {
+	h.n++
+}
+
+// internal is unexported: outside the contract, no finding.
+func (h *Handle) internal() int64 {
+	return h.n
+}

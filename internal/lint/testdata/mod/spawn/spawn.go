@@ -1,0 +1,24 @@
+// Package spawn exercises goroutine-hygiene: it is not on the
+// GoroutineAllowed list, so bare go statements fire.
+package spawn
+
+import "sync"
+
+// Fanout fires: worker spawning outside the executor packages.
+func Fanout(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// Background is suppressed with a reason.
+func Background(f func()) {
+	//lint:ignore goroutine-hygiene fire-and-forget side channel, touches no shared routing state
+	go f()
+}

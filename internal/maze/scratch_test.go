@@ -21,7 +21,7 @@ func scratchFixture(t testing.TB) (*grid.Graph, []*design.Net, [][]geom.Point3, 
 	wins := make([]geom.Rect, len(nets))
 	for i, n := range nets {
 		pins[i] = route.PinTerminals(stt.Build(n))
-		wins[i] = n.BBox().Inflate(2 + i%5).ClampTo(g.W, g.H)
+		wins[i] = n.BBox().Inflate(2+i%5).ClampTo(g.W, g.H)
 	}
 	return g, nets, pins, wins
 }

@@ -1,0 +1,29 @@
+package obs
+
+import "time"
+
+// This file is the pipeline's only sanctioned wall-clock access for
+// instrumentation outside package obs itself. fastgrlint's detwall
+// check forbids determinism-critical packages (core, taskflow, maze,
+// sched, pattern, ...) from calling time.Now or time.Since directly;
+// observational timing — the report's *Wall columns, span timestamps,
+// wait/run histograms — routes through a Stopwatch instead, so every
+// wall-clock read in the router funnels through this one audited file.
+// The contract stays the package's: a wall-clock reading must never
+// feed a modeled time, routed geometry or reported quality.
+
+// Stopwatch marks a wall-clock instant. The zero Stopwatch is valid
+// and measures from the zero time; callers that may skip starting it
+// should gate on their own observing flag, as the instrumented hot
+// paths do.
+type Stopwatch struct{ t time.Time }
+
+// StartStopwatch captures the current wall-clock instant.
+func StartStopwatch() Stopwatch { return Stopwatch{t: time.Now()} }
+
+// Elapsed returns the wall-clock time since the stopwatch was started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t) }
+
+// ElapsedNs is Elapsed in integer nanoseconds — the unit the duration
+// histograms observe.
+func (s Stopwatch) ElapsedNs() int64 { return s.Elapsed().Nanoseconds() }

@@ -205,13 +205,17 @@ type Snapshot struct {
 // Snapshot copies the registry's current state. A nil registry yields a
 // zero snapshot with non-nil (empty) maps.
 func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]HistSnapshot{},
+		}
+	}
 	s := Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistSnapshot{},
-	}
-	if r == nil {
-		return s
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -115,9 +115,20 @@ type wireKey struct{ layer, x, y int }
 type viaKey struct{ x, y, l int }
 
 // canonical flattens Paths into distinct wire-edge and via-edge sets.
+// The slices are built in first-insertion order — a pure function of
+// Paths — rather than by ranging over the dedup maps, so the canonical
+// edge lists are deterministic (detmap).
 func (r *NetRoute) canonical(g *grid.Graph) ([]wireKey, []viaKey) {
 	wires := make(map[wireKey]struct{})
 	vias := make(map[viaKey]struct{})
+	var wk []wireKey
+	var vk []viaKey
+	addWire := func(k wireKey) {
+		if _, dup := wires[k]; !dup {
+			wires[k] = struct{}{}
+			wk = append(wk, k)
+		}
+	}
 	for _, p := range r.Paths {
 		for _, s := range p.Segs {
 			if g.Dir(s.Layer) == grid.Horizontal {
@@ -126,7 +137,7 @@ func (r *NetRoute) canonical(g *grid.Graph) ([]wireKey, []viaKey) {
 				}
 				lo, hi := geom.Min(s.A.X, s.B.X), geom.Max(s.A.X, s.B.X)
 				for x := lo; x < hi; x++ {
-					wires[wireKey{s.Layer, x, s.A.Y}] = struct{}{}
+					addWire(wireKey{s.Layer, x, s.A.Y})
 				}
 			} else {
 				if s.A.X != s.B.X {
@@ -134,23 +145,19 @@ func (r *NetRoute) canonical(g *grid.Graph) ([]wireKey, []viaKey) {
 				}
 				lo, hi := geom.Min(s.A.Y, s.B.Y), geom.Max(s.A.Y, s.B.Y)
 				for y := lo; y < hi; y++ {
-					wires[wireKey{s.Layer, s.A.X, y}] = struct{}{}
+					addWire(wireKey{s.Layer, s.A.X, y})
 				}
 			}
 		}
 		for _, v := range p.Vias {
 			for l := v.L1; l < v.L2; l++ {
-				vias[viaKey{v.X, v.Y, l}] = struct{}{}
+				k := viaKey{v.X, v.Y, l}
+				if _, dup := vias[k]; !dup {
+					vias[k] = struct{}{}
+					vk = append(vk, k)
+				}
 			}
 		}
-	}
-	wk := make([]wireKey, 0, len(wires))
-	for k := range wires {
-		wk = append(wk, k)
-	}
-	vk := make([]viaKey, 0, len(vias))
-	for k := range vias {
-		vk = append(vk, k)
 	}
 	return wk, vk
 }

@@ -49,9 +49,11 @@ func RunWorkersObserved(g *sched.Graph, workers int, o *obs.Observer, fn func(wo
 	waitHist := o.M().Histogram(obs.MTaskWaitNs, obs.DurationBuckets)
 	runHist := o.M().Histogram(obs.MTaskRunNs, obs.DurationBuckets)
 	observing := waitHist != nil
-	var readyAt []time.Time
+	// Wall-clock reads route through the obs stopwatch (detwall): the
+	// readings feed histograms only, never the schedule or the results.
+	var readyAt []obs.Stopwatch
 	if observing {
-		readyAt = make([]time.Time, n)
+		readyAt = make([]obs.Stopwatch, n)
 	}
 
 	indeg := append([]int(nil), g.Indegree...)
@@ -59,7 +61,7 @@ func RunWorkersObserved(g *sched.Graph, workers int, o *obs.Observer, fn func(wo
 	for i, d := range indeg {
 		if d == 0 {
 			if observing {
-				readyAt[i] = time.Now()
+				readyAt[i] = obs.StartStopwatch()
 			}
 			ready <- i
 		}
@@ -73,14 +75,14 @@ func RunWorkersObserved(g *sched.Graph, workers int, o *obs.Observer, fn func(wo
 		go func(worker int) {
 			defer wg.Done()
 			for t := range ready {
-				var start time.Time
+				var run obs.Stopwatch
 				if observing {
-					start = time.Now()
-					waitHist.Observe(start.Sub(readyAt[t]).Nanoseconds())
+					waitHist.Observe(readyAt[t].ElapsedNs())
+					run = obs.StartStopwatch()
 				}
 				fn(worker, t)
 				if observing {
-					runHist.Observe(time.Since(start).Nanoseconds())
+					runHist.Observe(run.ElapsedNs())
 				}
 				mu.Lock()
 				done++
@@ -88,7 +90,7 @@ func RunWorkersObserved(g *sched.Graph, workers int, o *obs.Observer, fn func(wo
 					indeg[v]--
 					if indeg[v] == 0 {
 						if observing {
-							readyAt[v] = time.Now()
+							readyAt[v] = obs.StartStopwatch()
 						}
 						ready <- v
 					}

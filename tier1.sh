@@ -1,15 +1,50 @@
 #!/bin/sh
 # Tier-1 verification: the gate every PR must keep green.
-# Vet + build + full test suite, then the race detector over the packages
-# that execute host-parallel (the determinism contract is only meaningful
-# if it holds under -race; internal/core includes the tracing-enabled
-# determinism suite, internal/obs the concurrent recorder tests), and
-# finally the observability overhead guard: benchgen -obs fails if the
-# disabled-mode cost on the pattern-stage batch workload exceeds 2%.
-set -eux
+#
+#   vet        — go vet (tests included) across the tree
+#   build      — everything compiles
+#   test       — the full test suite (includes TestLintTreeClean and the
+#                ExecWorkers determinism sweeps)
+#   race       — the race detector over every package that executes
+#                host-parallel: the par pool itself, core's tracing-enabled
+#                determinism suite, the taskflow executor, the concurrent
+#                obs recorders, and sched + maze, which run under the pool
+#                from core's parallel sections
+#   lint       — fastgrlint, the static invariant net (determinism +
+#                passive observability contracts), gofmt verification on
+#   bench-obs  — observability overhead guard: benchgen -obs fails if the
+#                disabled-mode cost on the pattern-stage batch workload
+#                exceeds 2%
+#   bench-lint — records analyzer cost (files/sec) into BENCH_lint.json
+#
+# Every step runs even after a failure, and the trailer prints one
+# PASS/FAIL line per step so a red build is attributable at a glance.
+set -u
 
-go vet ./...
-go build ./...
-go test ./...
-go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs
-go run ./cmd/benchgen -obs -o BENCH_obs.json
+fail=0
+summary=""
+
+step() {
+    name=$1
+    shift
+    echo "==> $name: $*"
+    if "$@"; then
+        summary="$summary
+$name: PASS"
+    else
+        summary="$summary
+$name: FAIL"
+        fail=1
+    fi
+}
+
+step vet        go vet -tests=true ./...
+step build      go build ./...
+step test       go test ./...
+step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze
+step lint       go run ./cmd/fastgrlint -fmt ./...
+step bench-obs  go run ./cmd/benchgen -obs -o BENCH_obs.json
+step bench-lint go run ./cmd/benchgen -lint -o BENCH_lint.json
+
+echo "== tier1 summary ==$summary"
+exit $fail
