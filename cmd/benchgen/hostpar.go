@@ -33,6 +33,15 @@ type hostparEntry struct {
 	NsPerOp     int64 `json:"ns_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+
+	// Worker-sweep bookkeeping (pattern_batch entries only). A sweep point
+	// asking for more workers than GOMAXPROCS can actually run is recorded
+	// as skipped instead of being measured: its timing would say nothing
+	// about scaling, only about oversubscription on this host.
+	Workers          int    `json:"workers,omitempty"`
+	EffectiveWorkers int    `json:"effective_workers,omitempty"`
+	Skipped          bool   `json:"skipped,omitempty"`
+	SkipReason       string `json:"skip_reason,omitempty"`
 }
 
 func entry(r testing.BenchmarkResult) hostparEntry {
@@ -111,15 +120,28 @@ func runHostpar(out string) error {
 		trees = append(trees, stt.Build(n))
 	}
 	for _, workers := range []int{1, 2, 4} {
+		key := fmt.Sprintf("workers=%d", workers)
+		if mp := runtime.GOMAXPROCS(0); mp < workers {
+			rep.PatternBatch[key] = hostparEntry{
+				Workers:          workers,
+				EffectiveWorkers: mp,
+				Skipped:          true,
+				SkipReason: fmt.Sprintf(
+					"GOMAXPROCS=%d cannot run %d workers in parallel; timing would measure oversubscription, not scaling", mp, workers),
+			}
+			continue
+		}
 		r := patterngpu.New(gpu.RTX3090(), pattern.Config{Mode: pattern.LShape})
 		r.Workers = workers
-		rep.PatternBatch[fmt.Sprintf("workers=%d", workers)] = entry(
-			testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					r.RouteBatch(g, trees)
-				}
-			}))
+		e := entry(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.RouteBatch(g, trees)
+			}
+		}))
+		e.Workers = workers
+		e.EffectiveWorkers = workers
+		rep.PatternBatch[key] = e
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

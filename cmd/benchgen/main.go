@@ -11,6 +11,7 @@
 //	benchgen -hostpar -o BENCH_hostpar.json
 //	benchgen -obs -o BENCH_obs.json
 //	benchgen -lint -o BENCH_lint.json
+//	benchgen -maze -o BENCH_maze.json
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		hostpar  = flag.Bool("hostpar", false, "measure host-parallel execution benchmarks and emit JSON")
 		obsFlag  = flag.Bool("obs", false, "measure observability overhead on the pattern stage and emit JSON (fails if disabled-mode overhead exceeds the budget)")
 		lintFlag = flag.Bool("lint", false, "measure the fastgrlint suite over the whole module and emit JSON (files/sec, findings)")
+		mazeFlag = flag.Bool("maze", false, "measure the maze kernel (dijkstra/astar x cold/warm cost cache) and emit JSON (fails if astar+warm misses the speedup gate)")
 	)
 	flag.Parse()
 
@@ -46,6 +48,10 @@ func main() {
 		}
 	case *lintFlag:
 		if err := runLint(*out); err != nil {
+			fatal(err)
+		}
+	case *mazeFlag:
+		if err := runMaze(*out); err != nil {
 			fatal(err)
 		}
 	case *list:

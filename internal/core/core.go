@@ -91,6 +91,12 @@ type Options struct {
 	// MazeMargin inflates each net's maze search window (and its conflict
 	// footprint) beyond its bounding box.
 	MazeMargin int
+	// MazeAlgorithm selects the rip-up search strategy. The zero value is
+	// maze.AStar; maze.Dijkstra is the unguided baseline. Routed geometry
+	// is bit-identical either way (the A* bound is strictly admissible
+	// under the default cost parameters) — only expansion counts, and with
+	// them the modeled maze times, differ.
+	MazeAlgorithm maze.Algorithm
 	// Workers is the modeled CPU worker count for parallel-RRR makespans
 	// (paper host: 16 cores).
 	Workers int
@@ -236,6 +242,7 @@ type runner struct {
 
 func (r *runner) run() (*Result, error) {
 	r.g = grid.NewFromDesign(r.d)
+	r.g.SetObserver(r.opt.Obs)
 	r.pool = par.NewPool(r.opt.ExecWorkers)
 	r.pool.SetObserver(r.opt.Obs)
 	r.rep.Design = r.d.Name
@@ -322,9 +329,13 @@ func (r *runner) patternStage() {
 
 	switch r.opt.Variant {
 	case CUGR:
-		// Sequential CPU pattern routing, net by net in batch order.
+		// Sequential CPU pattern routing, net by net in batch order. The
+		// cost cache is rewarmed at each batch boundary; commits inside the
+		// batch dirty the touched lines, whose queries fall back to the
+		// direct formula until the next warm.
 		var ops int64
 		for bi, batch := range batches {
+			r.g.WarmCostCache()
 			bsp := batchSpan(tr, bi)
 			for _, task := range batch {
 				n := task.Payload.(*design.Net)
@@ -408,6 +419,7 @@ func (r *runner) rrrStage() error {
 	searches := make([]*maze.Search, r.pool.Workers())
 	for i := range searches {
 		searches[i] = maze.NewSearch()
+		searches[i].SetAlgorithm(r.opt.MazeAlgorithm)
 		searches[i].SetObserver(r.opt.Obs)
 	}
 
@@ -424,6 +436,12 @@ func (r *runner) rrrStage() error {
 			iterSp.End()
 			break
 		}
+		// Rewarm the cost field at the iteration boundary — the last
+		// single-threaded point before workers uncommit/reroute/commit in
+		// disjoint windows. Mid-iteration mutations invalidate per edge;
+		// stale reads fall back to the direct formula, so results are
+		// independent of cache state and of the worker count.
+		r.g.WarmCostCache()
 		sched.SortNets(violating, scheme)
 
 		// Two task views: the execution graph conflicts on the full maze

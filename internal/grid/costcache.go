@@ -1,0 +1,268 @@
+package grid
+
+// Epoch-invalidated cost-field cache. GPU global routers get their
+// throughput by turning per-edge cost evaluation into array loads over
+// precomputed cost maps (GAP-LA builds per-layer maps with prefix sums for
+// its layer-assignment DP); this file brings the same structure to the two
+// hot paths the profile names: WireCost/ViaEdgeCost (a logistic — an exp —
+// per maze relaxation) and SegCost/ViaStackCost (an O(length) walk per
+// pattern candidate).
+//
+// Layout. Per layer l the cache holds one float64 per wire edge (the value
+// WireCost would compute) and, per routing line (a row of a horizontal
+// layer, a column of a vertical one), an exclusive prefix-sum array of
+// those values, so SegCost collapses to two reads. Vias mirror this per
+// G-cell column: one value per boundary plus a per-cell prefix over the
+// L-1 boundaries, collapsing ViaStackCost.
+//
+// Invalidation protocol. Demand and history mutations invalidate at G-cell
+// granularity: the mutated edge's stale flag is set (plain write — edge
+// mutation is already owner-exclusive under the disjoint-window discipline,
+// exactly like the demand array itself) and the edge's line/cell dirty flag
+// is set (atomic — lines cross window boundaries, so concurrent rip-up
+// workers in disjoint windows may share one). Readers never write the
+// cache: a stale edge or dirty line falls back to the direct formula, which
+// is always correct, so cache state can only change speed, never results.
+// All materialization happens in WarmCostCache, which callers invoke only
+// at single-threaded coordinator points (between pattern batches, at the
+// top of a rip-up iteration).
+//
+// Determinism. A cached edge value is bit-identical to the direct formula
+// (it is produced by the same code). The prefix-sum segment read may differ
+// from the left-fold walk by float rounding; every consumer of SegCost
+// compares with tolerances, and the maze router uses only per-edge costs,
+// so routed geometry is bit-identical for any warm/cold state.
+
+import (
+	"math"
+	"sync/atomic"
+
+	"fastgr/internal/geom"
+	"fastgr/internal/obs"
+)
+
+// costCache is the materialized cost field of one Graph. Value/prefix
+// arrays are nil until the first WarmCostCache, so an unwarmed graph
+// behaves exactly like the pre-cache implementation.
+type costCache struct {
+	built bool
+
+	// Wire side, indexed like wireDem: [l-1][edge].
+	wireVal   [][]float64
+	wireStale [][]bool
+	// wirePfx[l-1] holds lineCount(l) runs of lineLen(l)+1 exclusive
+	// prefix sums; wireDirty[l-1] has one flag per line.
+	wirePfx   [][]float64
+	wireDirty [][]atomic.Uint32
+
+	// Via side: [b][cell] values, one L-entry prefix run per cell
+	// (viaPfx[cell*L+k] sums boundaries 0..k-1), one flag per cell.
+	viaVal   [][]float64
+	viaStale [][]bool
+	viaPfx   []float64
+	viaDirty []atomic.Uint32
+
+	// Flight-recorder handles, resolved once by SetObserver; all nil in
+	// disabled mode, where each event costs one nil check.
+	hits   *obs.Counter
+	misses *obs.Counter
+	invals *obs.Counter
+	warms  *obs.Counter
+}
+
+// SetObserver attaches (or, with nil, detaches) the flight recorder to the
+// cost cache: fast-path hit/miss counters, per-edge invalidation counts and
+// the number of lines/cells rebuilt by WarmCostCache.
+func (g *Graph) SetObserver(o *obs.Observer) {
+	g.cc.hits = o.M().Counter(obs.MCostHits)
+	g.cc.misses = o.M().Counter(obs.MCostMisses)
+	g.cc.invals = o.M().Counter(obs.MCostInvalidations)
+	g.cc.warms = o.M().Counter(obs.MCostWarms)
+}
+
+// CostCacheBuilt reports whether the cost field has been materialized.
+func (g *Graph) CostCacheBuilt() bool { return g.cc.built }
+
+// lineLen is the edge count of one routing line of layer l; lineCount is
+// the number of such lines.
+func (g *Graph) lineLen(l int) int {
+	if g.Dir(l) == Horizontal {
+		return g.W - 1
+	}
+	return g.H - 1
+}
+
+func (g *Graph) lineCount(l int) int {
+	if g.Dir(l) == Horizontal {
+		return g.H
+	}
+	return g.W
+}
+
+// wireCostAt is the direct cost formula for wire edge i of layer l — the
+// single source of truth both the fallback path and the warmer evaluate.
+func (g *Graph) wireCostAt(l, i int) float64 {
+	cap, dem := g.wireCap[l-1][i], g.wireDem[l-1][i]
+	c := g.Params.UnitWire + g.logistic(dem, cap)
+	if cap <= 0 {
+		c += g.Params.BlockedPenalty
+	}
+	if g.history != nil {
+		c += HistoryWeight * float64(g.history[l-1][i])
+	}
+	return c
+}
+
+// viaCostAt is the direct via-edge formula for cell i across the boundary
+// above layer l.
+func (g *Graph) viaCostAt(l, i int) float64 {
+	cap, dem := g.viaCap[l-1], g.viaDem[l-1][i]
+	return g.Params.UnitVia + g.logistic(dem, cap)
+}
+
+// noteWireMutation invalidates the cached cost of one wire edge: the
+// caller owns the edge (demand writes already require that), the line flag
+// is shared across windows and therefore atomic.
+func (g *Graph) noteWireMutation(l, i int) {
+	cc := &g.cc
+	if !cc.built {
+		return
+	}
+	cc.wireStale[l-1][i] = true
+	cc.wireDirty[l-1][i/g.lineLen(l)].Store(1)
+	cc.invals.Add(1)
+}
+
+// noteViaMutation invalidates one via edge and its cell's prefix run.
+func (g *Graph) noteViaMutation(l, cell int) {
+	cc := &g.cc
+	if !cc.built {
+		return
+	}
+	cc.viaStale[l-1][cell] = true
+	cc.viaDirty[cell].Store(1)
+	cc.invals.Add(1)
+}
+
+// WarmCostCache (re)materializes every dirty line and cell of the cost
+// field — the whole field on first call. It must only be called at
+// single-threaded coordinator points: it is the one place cache values are
+// written, which is what lets concurrent readers skip all synchronization
+// on the value arrays.
+func (g *Graph) WarmCostCache() {
+	cc := &g.cc
+	if !cc.built {
+		cc.wireVal = make([][]float64, g.L)
+		cc.wireStale = make([][]bool, g.L)
+		cc.wirePfx = make([][]float64, g.L)
+		cc.wireDirty = make([][]atomic.Uint32, g.L)
+		for l := 1; l <= g.L; l++ {
+			n := g.numWireEdges(l)
+			lines := g.lineCount(l)
+			cc.wireVal[l-1] = make([]float64, n)
+			cc.wireStale[l-1] = make([]bool, n)
+			cc.wirePfx[l-1] = make([]float64, lines*(g.lineLen(l)+1))
+			cc.wireDirty[l-1] = make([]atomic.Uint32, lines)
+			for li := range cc.wireDirty[l-1] {
+				cc.wireDirty[l-1][li].Store(1)
+			}
+		}
+		cells := g.W * g.H
+		cc.viaVal = make([][]float64, g.L-1)
+		cc.viaStale = make([][]bool, g.L-1)
+		for b := 0; b < g.L-1; b++ {
+			cc.viaVal[b] = make([]float64, cells)
+			cc.viaStale[b] = make([]bool, cells)
+		}
+		cc.viaPfx = make([]float64, cells*g.L)
+		cc.viaDirty = make([]atomic.Uint32, cells)
+		for i := range cc.viaDirty {
+			cc.viaDirty[i].Store(1)
+		}
+		cc.built = true
+	}
+
+	warmed := 0
+	for l := 1; l <= g.L; l++ {
+		ll := g.lineLen(l)
+		if ll <= 0 {
+			continue
+		}
+		val, stale := cc.wireVal[l-1], cc.wireStale[l-1]
+		pfx, dirty := cc.wirePfx[l-1], cc.wireDirty[l-1]
+		for li := 0; li < g.lineCount(l); li++ {
+			if dirty[li].Load() == 0 {
+				continue
+			}
+			base, pbase := li*ll, li*(ll+1)
+			sum := 0.0
+			pfx[pbase] = 0
+			for k := 0; k < ll; k++ {
+				c := g.wireCostAt(l, base+k)
+				val[base+k] = c
+				stale[base+k] = false
+				sum += c
+				pfx[pbase+k+1] = sum
+			}
+			dirty[li].Store(0)
+			warmed++
+		}
+	}
+	for cell := 0; cell < g.W*g.H; cell++ {
+		if cc.viaDirty[cell].Load() == 0 {
+			continue
+		}
+		base := cell * g.L
+		sum := 0.0
+		cc.viaPfx[base] = 0
+		for b := 0; b < g.L-1; b++ {
+			c := g.viaCostAt(b+1, cell)
+			cc.viaVal[b][cell] = c
+			cc.viaStale[b][cell] = false
+			sum += c
+			cc.viaPfx[base+b+1] = sum
+		}
+		cc.viaDirty[cell].Store(0)
+		warmed++
+	}
+	cc.warms.Add(int64(warmed))
+}
+
+// InvalidateCostCache drops the materialized field entirely; the next
+// WarmCostCache rebuilds from scratch. Like Warm, coordinator-only.
+func (g *Graph) InvalidateCostCache() {
+	g.cc = costCache{
+		hits:   g.cc.hits,
+		misses: g.cc.misses,
+		invals: g.cc.invals,
+		warms:  g.cc.warms,
+	}
+}
+
+// SegCostsAllLayers fills dst (len >= L) with SegCost(l, a, b) for every
+// layer: +Inf where the run fights the layer's preferred direction, zero
+// everywhere when a == b. One call replaces the per-layer dispatch in the
+// pattern DP's candidate evaluation; with a warm cache each feasible layer
+// costs two prefix reads.
+func (g *Graph) SegCostsAllLayers(a, b geom.Point, dst []float64) {
+	inf := math.Inf(1)
+	if a == b {
+		for l := 0; l < g.L; l++ {
+			dst[l] = 0
+		}
+		return
+	}
+	var o Dir
+	if a.Y == b.Y {
+		o = Horizontal
+	} else {
+		o = Vertical
+	}
+	for l := 1; l <= g.L; l++ {
+		if g.Dir(l) != o {
+			dst[l-1] = inf
+			continue
+		}
+		dst[l-1] = g.SegCost(l, a, b)
+	}
+}

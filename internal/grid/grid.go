@@ -82,6 +82,10 @@ type Graph struct {
 	// history holds negotiated-congestion penalties (see history.go); nil
 	// until EnableHistory.
 	history [][]float32
+
+	// cc is the epoch-invalidated cost-field cache (see costcache.go);
+	// inert until the first WarmCostCache.
+	cc costCache
 }
 
 // NewFromDesign builds the grid graph for a design, applying per-layer
@@ -190,22 +194,25 @@ func (g *Graph) logistic(dem, cap int32) float64 {
 
 // WireCost is the cost c_w of using one wire edge at (x,y) on layer l,
 // evaluated at the edge's current demand (i.e., the cost of adding one more
-// track through it).
+// track through it). With a warm cost cache this is an array load; a stale
+// or unbuilt cache falls back to the direct formula.
 func (g *Graph) WireCost(l, x, y int) float64 {
 	i := g.wireIndex(l, x, y)
-	cap, dem := g.wireCap[l-1][i], g.wireDem[l-1][i]
-	c := g.Params.UnitWire + g.logistic(dem, cap)
-	if cap <= 0 {
-		c += g.Params.BlockedPenalty
+	if cc := &g.cc; cc.built && !cc.wireStale[l-1][i] {
+		cc.hits.Add(1)
+		return cc.wireVal[l-1][i]
 	}
-	if g.history != nil {
-		c += HistoryWeight * float64(g.history[l-1][i])
-	}
-	return c
+	g.cc.misses.Add(1)
+	return g.wireCostAt(l, i)
 }
 
 // SegCost is the cost of a straight wire from a to b on layer l. The segment
-// must run along the layer's preferred direction; a == b costs zero.
+// must run along the layer's preferred direction; a == b costs zero. With a
+// warm cost cache and a clean line this is two prefix-sum reads (the
+// prefix-sum total can differ from the edge-walk total by float rounding;
+// consumers compare segment costs with tolerances); a dirty line falls back
+// to walking the edges, which itself reads per-edge cache entries where
+// they are fresh.
 func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
 	if a == b {
 		return 0
@@ -216,6 +223,11 @@ func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
 			panic(fmt.Sprintf("grid: horizontal segment %v-%v on layer %d misaligned", a, b, l))
 		}
 		lo, hi := geom.Min(a.X, b.X), geom.Max(a.X, b.X)
+		if cc := &g.cc; cc.built && cc.wireDirty[l-1][a.Y].Load() == 0 {
+			cc.hits.Add(1)
+			p := cc.wirePfx[l-1][a.Y*g.W:]
+			return p[hi] - p[lo]
+		}
 		for x := lo; x < hi; x++ {
 			total += g.WireCost(l, x, a.Y)
 		}
@@ -224,6 +236,11 @@ func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
 			panic(fmt.Sprintf("grid: vertical segment %v-%v on layer %d misaligned", a, b, l))
 		}
 		lo, hi := geom.Min(a.Y, b.Y), geom.Max(a.Y, b.Y)
+		if cc := &g.cc; cc.built && cc.wireDirty[l-1][a.X].Load() == 0 {
+			cc.hits.Add(1)
+			p := cc.wirePfx[l-1][a.X*g.H:]
+			return p[hi] - p[lo]
+		}
 		for y := lo; y < hi; y++ {
 			total += g.WireCost(l, a.X, y)
 		}
@@ -232,17 +249,32 @@ func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
 }
 
 // ViaEdgeCost is the cost of one via edge at (x,y) crossing the boundary
-// above layer l.
+// above layer l. Cached like WireCost.
 func (g *Graph) ViaEdgeCost(x, y, l int) float64 {
 	i := y*g.W + x
-	cap, dem := g.viaCap[l-1], g.viaDem[l-1][i]
-	return g.Params.UnitVia + g.logistic(dem, cap)
+	if cc := &g.cc; cc.built && !cc.viaStale[l-1][i] {
+		cc.hits.Add(1)
+		return cc.viaVal[l-1][i]
+	}
+	g.cc.misses.Add(1)
+	return g.viaCostAt(l, i)
 }
 
 // ViaStackCost is c_v(u, l1, l2): the cost of the via stack at (x,y)
-// connecting layers l1 and l2 (either order); zero when l1 == l2.
+// connecting layers l1 and l2 (either order); zero when l1 == l2. With a
+// warm cache and a clean cell this is two prefix-sum reads over the cell's
+// boundary column.
 func (g *Graph) ViaStackCost(x, y, l1, l2 int) float64 {
 	lo, hi := geom.Min(l1, l2), geom.Max(l1, l2)
+	if lo == hi {
+		return 0
+	}
+	cell := y*g.W + x
+	if cc := &g.cc; cc.built && cc.viaDirty[cell].Load() == 0 {
+		cc.hits.Add(1)
+		p := cc.viaPfx[cell*g.L:]
+		return p[hi-1] - p[lo-1]
+	}
 	total := 0.0
 	for l := lo; l < hi; l++ {
 		total += g.ViaEdgeCost(x, y, l)
@@ -284,6 +316,7 @@ func (g *Graph) addWireDemand(l, x, y int, delta int32) {
 	if g.wireDem[l-1][i] < 0 {
 		panic(fmt.Sprintf("grid: wire demand underflow at layer %d (%d,%d)", l, x, y))
 	}
+	g.noteWireMutation(l, i)
 }
 
 // AddViaStackDemand adds delta to every via edge of the stack at (x,y)
@@ -296,6 +329,7 @@ func (g *Graph) AddViaStackDemand(x, y, l1, l2, delta int) {
 		if g.viaDem[l-1][i] < 0 {
 			panic(fmt.Sprintf("grid: via demand underflow at (%d,%d) layer %d", x, y, l))
 		}
+		g.noteViaMutation(l, i)
 	}
 }
 

@@ -26,7 +26,10 @@ func (g *Graph) EnableHistory() {
 func (g *Graph) HistoryEnabled() bool { return g.history != nil }
 
 // BumpOverflowHistory adds delta x overflow to every currently overflowed
-// wire edge's history — called once per rip-up iteration.
+// wire edge's history — called once per rip-up iteration (a coordinator
+// point). Each bumped edge's cost-cache entry is invalidated like a demand
+// mutation; enabling history needs no invalidation because an all-zero
+// history store leaves WireCost unchanged.
 func (g *Graph) BumpOverflowHistory(delta float64) {
 	if g.history == nil {
 		return
@@ -35,6 +38,7 @@ func (g *Graph) BumpOverflowHistory(delta float64) {
 		for i, c := range g.wireCap[l] {
 			if ov := g.wireDem[l][i] - c; ov > 0 {
 				g.history[l][i] += float32(delta * float64(ov))
+				g.noteWireMutation(l+1, i)
 			}
 		}
 	}

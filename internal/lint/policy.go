@@ -37,6 +37,12 @@ type Policy struct {
 //     executor and obs itself; cmd binaries needing a service goroutine
 //     (e.g. the pprof listener) must justify it with a suppression.
 //   - internal/obs carries the nil-safety contract.
+//   - internal/grid is deliberately exempt from nothing: the cost-field
+//     cache mixes owner-exclusive plain state (edge values, stale flags)
+//     with shared atomic dirty flags, and the atomic-consistency check is
+//     what keeps those two tiers from bleeding into each other — a dirty
+//     flag published with sync/atomic must never be re-read plainly (the
+//     epochmix fixture pins this failure mode).
 func DefaultPolicy() Policy {
 	return Policy{
 		DetwallExempt: []string{

@@ -1,0 +1,40 @@
+// Package epochmix exercises atomic-consistency on the epoch/dirty-flag
+// idiom the cost-field cache uses: an invalidation flag published with
+// sync/atomic by mutators must never be checked with a plain read, or the
+// freshness test can miss a concurrent invalidation entirely.
+package epochmix
+
+import "sync/atomic"
+
+// Cache models a materialized field guarded by a dirty flag and an epoch.
+// The plain uint32 dirty field mixes access styles and fires; Epoch is the
+// clean wrapper style the real cache uses.
+type Cache struct {
+	dirty uint32 // stored atomically, loaded plainly: fires below
+	Epoch atomic.Uint64
+}
+
+// Invalidate is the atomic writer that puts dirty under the contract.
+func (c *Cache) Invalidate() {
+	atomic.StoreUint32(&c.dirty, 1)
+	c.Epoch.Add(1)
+}
+
+// Fresh fires: a plain read of the atomically published flag can return a
+// stale answer and skip a needed rebuild.
+func (c *Cache) Fresh() bool {
+	return c.dirty == 0
+}
+
+// FreshQuiesced is suppressed: the warmer runs at a coordinator point,
+// after every mutating worker has joined.
+func (c *Cache) FreshQuiesced() bool {
+	//lint:ignore atomic-consistency warm runs single-threaded after workers join
+	return c.dirty == 0
+}
+
+// EpochNow is clean: wrapper-type fields are atomic at every access by
+// construction.
+func (c *Cache) EpochNow() uint64 {
+	return c.Epoch.Load()
+}

@@ -1,9 +1,18 @@
 // Package maze implements the 3-D maze routing used in the rip-up-and-
-// reroute iterations (Section III-G): a multi-source multi-target Dijkstra
-// on the grid graph, restricted to a search window around the net, that
-// reconnects a net pin by pin into a routed tree. Unlike pattern routing it
-// explores every path inside the window, which is what lets rerouting
-// resolve the violations pattern routing leaves behind.
+// reroute iterations (Section III-G): a multi-source multi-target shortest
+// path search on the grid graph, restricted to a search window around the
+// net, that reconnects a net pin by pin into a routed tree. Unlike pattern
+// routing it explores every path inside the window, which is what lets
+// rerouting resolve the violations pattern routing leaves behind.
+//
+// The search runs as A* by default: an admissible lower bound (L1 distance
+// to the nearest remaining target scaled by the unit wire/via costs) prunes
+// expansions that plain Dijkstra would settle. Because the congestion term
+// of the cost model is strictly positive, the bound is strictly below every
+// real path cost, and with (key, node-index) heap ordering plus a canonical
+// equal-cost parent rule the routed geometry is bit-identical to the
+// Dijkstra mode (selectable via SetAlgorithm) — DESIGN.md carries the
+// argument, maze_crosscheck_test.go enforces it.
 //
 // The search state (distance/visited/parent arrays, heap storage, the
 // connected and target sets) lives in a reusable Search scratch object:
@@ -28,6 +37,27 @@ import (
 type Stats struct {
 	Expansions int64 // settled node count
 	Pushes     int64 // heap pushes
+}
+
+// Algorithm selects the maze search strategy. Both produce bit-identical
+// routed geometry (on strictly positive edge costs); they differ only in
+// how many nodes they expand.
+type Algorithm int
+
+const (
+	// AStar, the default, guides the search with the admissible lower bound
+	// described in the package comment.
+	AStar Algorithm = iota
+	// Dijkstra is the unguided baseline (a zero heuristic) — the seed
+	// implementation, kept for the cross-check suite and benchmarking.
+	Dijkstra
+)
+
+func (a Algorithm) String() string {
+	if a == Dijkstra {
+		return "dijkstra"
+	}
+	return "astar"
 }
 
 // RouteNet maze-routes a whole net inside the window with a fresh scratch
@@ -64,31 +94,46 @@ type Search struct {
 
 	// connected is an ordered source list (its membership set is connStamp):
 	// set iteration order would make equal-cost tie-breaking — and therefore
-	// the chosen geometry and expansion counts — nondeterministic.
+	// the chosen geometry and expansion counts — nondeterministic. targets
+	// is the ordered list of unreached targets (membership set: targStamp),
+	// scanned by the A* heuristic.
 	connected []geom.Point3
-	remaining int // unreached targets
+	targets   []geom.Point3
+
+	// alg selects the search strategy; hWire/hVia are the per-axis unit
+	// costs of the current grid, the heuristic's scale factors.
+	alg   Algorithm
+	hWire float64
+	hVia  float64
 
 	q     pq
 	nodes []geom.Point3 // pathNodes buffer
 	pts   []geom.Point3 // reconstruct buffer
 
 	// Flight-recorder handles, resolved once by SetObserver; all nil in
-	// disabled mode, where RouteNet pays three nil checks.
+	// disabled mode, where RouteNet pays a handful of nil checks.
 	expHist     *obs.Histogram
+	expHistAlg  [2]*obs.Histogram // indexed by Algorithm
 	pushCounter *obs.Counter
 	searchCount *obs.Counter
 }
 
-// NewSearch returns an empty scratch; capacity grows on first use.
+// NewSearch returns an empty scratch; capacity grows on first use. The
+// search algorithm defaults to AStar.
 func NewSearch() *Search { return &Search{} }
+
+// SetAlgorithm selects the search strategy for subsequent RouteNet calls.
+func (s *Search) SetAlgorithm(a Algorithm) { s.alg = a }
 
 // SetObserver attaches (or, with nil, detaches) the flight recorder:
 // every RouteNet then records its expansion count into the
-// obs.MMazeExpansions histogram and bumps the pushes/searches counters.
-// Observation reads only the returned Stats, so routed geometry and the
-// expansion counts themselves are unchanged.
+// obs.MMazeExpansions histogram (plus the per-algorithm split) and bumps
+// the pushes/searches counters. Observation reads only the returned Stats,
+// so routed geometry and the expansion counts themselves are unchanged.
 func (s *Search) SetObserver(o *obs.Observer) {
 	s.expHist = o.M().Histogram(obs.MMazeExpansions, obs.ExpansionBuckets)
+	s.expHistAlg[AStar] = o.M().Histogram(obs.MMazeExpansionsAStar, obs.ExpansionBuckets)
+	s.expHistAlg[Dijkstra] = o.M().Histogram(obs.MMazeExpansionsDijkstra, obs.ExpansionBuckets)
 	s.pushCounter = o.M().Counter(obs.MMazePushes)
 	s.searchCount = o.M().Counter(obs.MMazeSearches)
 }
@@ -146,6 +191,8 @@ func (s *Search) RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window g
 	}
 
 	s.bind(g, window)
+	s.hWire = math.Max(0, g.Params.UnitWire)
+	s.hVia = math.Max(0, g.Params.UnitVia)
 	bumpEpoch(&s.connEpoch, s.connStamp)
 	bumpEpoch(&s.targEpoch, s.targStamp)
 	r := &route.NetRoute{NetID: netID}
@@ -153,25 +200,25 @@ func (s *Search) RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window g
 
 	s.connected = append(s.connected[:0], pins[0])
 	s.connStamp[s.index(pins[0])] = s.connEpoch
-	s.remaining = 0
+	s.targets = s.targets[:0]
 	for _, p := range pins[1:] {
 		if p == pins[0] {
 			continue
 		}
 		if i := s.index(p); s.targStamp[i] != s.targEpoch {
 			s.targStamp[i] = s.targEpoch
-			s.remaining++
+			s.targets = append(s.targets, p)
 		}
 	}
-	for s.remaining > 0 {
-		path, reached, st, err := s.dijkstra(s.connected)
+	for len(s.targets) > 0 {
+		path, reached, st, err := s.search(s.connected)
 		stats.Expansions += st.Expansions
 		stats.Pushes += st.Pushes
 		if err != nil {
 			return nil, stats, fmt.Errorf("maze: net %d: %w", netID, err)
 		}
 		s.targStamp[s.index(reached)] = s.targEpoch - 1
-		s.remaining--
+		s.dropTarget(reached)
 		// Every node of the new path joins the source set.
 		s.nodes = pathNodes(g, path, s.nodes[:0])
 		for _, p3 := range s.nodes {
@@ -187,9 +234,22 @@ func (s *Search) RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window g
 		r.Paths = append(r.Paths, path)
 	}
 	s.expHist.Observe(stats.Expansions)
+	s.expHistAlg[s.alg].Observe(stats.Expansions)
 	s.pushCounter.Add(stats.Pushes)
 	s.searchCount.Add(1)
 	return r, stats, nil
+}
+
+// dropTarget removes a reached target from the ordered target list
+// (stable, in place; membership already left targStamp above).
+func (s *Search) dropTarget(reached geom.Point3) {
+	keep := s.targets[:0]
+	for _, t := range s.targets {
+		if t != reached {
+			keep = append(keep, t)
+		}
+	}
+	s.targets = keep
 }
 
 // pathNodes appends all 3-D grid nodes a path touches to dst.
@@ -239,15 +299,25 @@ func (s *Search) fresh(i int32) {
 
 type pqItem struct {
 	node int32
-	d    float64
+	f    float64 // heap key: path cost plus heuristic (equal to g for Dijkstra)
+	g    float64 // path cost, for the stale-entry check on pop
 }
 
-// pq is a binary min-heap on d. The sift operations mirror container/heap's
-// algorithm exactly — same swaps, same tie handling — so the settle order
-// (and with it the routed geometry) matches the stdlib-heap implementation
-// bit for bit; going through a concrete slice instead of heap.Interface
-// removes the per-push interface boxing that dominated maze allocations.
+// pq is a binary min-heap ordered by (f, node). The sift operations mirror
+// container/heap's algorithm — same swaps — but the ordering carries an
+// explicit node-index tie-break, so the settle order on equal keys is a
+// property of the graph, not of push order: one of the two ingredients
+// (with the canonical parent rule in relaxNeighbors) that makes A* and
+// Dijkstra produce bit-identical geometry. A concrete slice instead of
+// heap.Interface avoids the per-push interface boxing that dominated maze
+// allocations.
 type pq []pqItem
+
+// before is the strict heap order: smaller key first, smaller node index
+// on exact key ties.
+func (a pqItem) before(b pqItem) bool {
+	return a.f < b.f || (a.f == b.f && a.node < b.node)
+}
 
 func (q *pq) push(it pqItem) {
 	*q = append(*q, it)
@@ -275,7 +345,7 @@ func (q *pq) up(j int) {
 	h := *q
 	for j > 0 {
 		i := (j - 1) / 2
-		if !(h[j].d < h[i].d) {
+		if !h[j].before(h[i]) {
 			break
 		}
 		h[i], h[j] = h[j], h[i]
@@ -291,10 +361,10 @@ func (q *pq) down(i, n int) {
 			break
 		}
 		j := j1
-		if j2 := j1 + 1; j2 < n && h[j2].d < h[j1].d {
+		if j2 := j1 + 1; j2 < n && h[j2].before(h[j1]) {
 			j = j2
 		}
-		if !(h[j].d < h[i].d) {
+		if !h[j].before(h[i]) {
 			break
 		}
 		h[i], h[j] = h[j], h[i]
@@ -302,10 +372,33 @@ func (q *pq) down(i, n int) {
 	}
 }
 
-// dijkstra runs one multi-source multi-target search and returns the
-// cheapest path to whichever target settles first. Targets are the nodes
-// whose targStamp carries the current target epoch.
-func (s *Search) dijkstra(sources []geom.Point3) (route.Path, geom.Point3, Stats, error) {
+// heuristic is the admissible lower bound on the cost from p to the
+// cheapest remaining target: per-axis L1 distance scaled by the unit wire
+// and via costs, minimized over targets. Every wire edge costs at least
+// UnitWire and every via edge at least UnitVia (the congestion term is
+// nonnegative), so the bound never exceeds the true remaining cost; it is
+// also consistent, because one step changes it by at most that step's unit
+// cost. Zero in Dijkstra mode.
+func (s *Search) heuristic(p geom.Point3) float64 {
+	if s.alg == Dijkstra || len(s.targets) == 0 {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, t := range s.targets {
+		h := float64(geom.Abs(p.X-t.X)+geom.Abs(p.Y-t.Y))*s.hWire +
+			float64(geom.Abs(p.Layer-t.Layer))*s.hVia
+		if h < best {
+			best = h
+		}
+	}
+	return best
+}
+
+// search runs one multi-source multi-target pass (A* or Dijkstra per the
+// configured algorithm) and returns the cheapest path to whichever target
+// settles first. Targets are the nodes whose targStamp carries the current
+// target epoch.
+func (s *Search) search(sources []geom.Point3) (route.Path, geom.Point3, Stats, error) {
 	bumpEpoch(&s.epoch, s.stamp)
 	var st Stats
 	q := &s.q
@@ -318,7 +411,7 @@ func (s *Search) dijkstra(sources []geom.Point3) (route.Path, geom.Point3, Stats
 		s.fresh(i)
 		if s.dist[i] > 0 {
 			s.dist[i] = 0
-			q.push(pqItem{i, 0})
+			q.push(pqItem{node: i, f: s.heuristic(src), g: 0})
 			st.Pushes++
 		}
 	}
@@ -331,7 +424,7 @@ func (s *Search) dijkstra(sources []geom.Point3) (route.Path, geom.Point3, Stats
 		it := q.pop()
 		i := it.node
 		s.fresh(i)
-		if s.visited[i] || it.d > s.dist[i] {
+		if s.visited[i] || it.g > s.dist[i] {
 			continue
 		}
 		s.visited[i] = true
@@ -350,11 +443,18 @@ func (s *Search) relaxNeighbors(p geom.Point3, i int32, q *pq, st *Stats) {
 	relax := func(np geom.Point3, cost float64) {
 		j := s.index(np)
 		s.fresh(j)
-		if nd := d + cost; nd < s.dist[j] {
+		nd := d + cost
+		if nd < s.dist[j] {
 			s.dist[j] = nd
 			s.parent[j] = i
-			q.push(pqItem{j, nd})
+			q.push(pqItem{node: j, f: nd + s.heuristic(np), g: nd})
 			st.Pushes++
+		} else if nd == s.dist[j] && cost > 0 && s.parent[j] >= 0 && i < s.parent[j] {
+			// Canonical parent rule: among equal-cost predecessors the
+			// smallest node index wins, independent of relaxation order.
+			// (cost > 0 keeps the parent pointers acyclic; sources keep
+			// their -1 root marker.)
+			s.parent[j] = i
 		}
 	}
 	// Wire moves along the layer's preferred direction.

@@ -3,6 +3,7 @@ package maze
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fastgr/internal/design"
@@ -12,21 +13,6 @@ import (
 	"fastgr/internal/route"
 	"fastgr/internal/stt"
 )
-
-// pathCost evaluates routed geometry element-by-element at the grid's
-// current demand, the common currency of both routers.
-func pathCost(g *grid.Graph, r *route.NetRoute) float64 {
-	total := 0.0
-	for _, p := range r.Paths {
-		for _, s := range p.Segs {
-			total += g.SegCost(s.Layer, s.A, s.B)
-		}
-		for _, v := range p.Vias {
-			total += g.ViaStackCost(v.X, v.Y, v.L1, v.L2)
-		}
-	}
-	return total
-}
 
 // TestMazeNeverWorseThanPattern cross-validates the two routers: on a full
 // window the maze explores a superset of every L/Z/hybrid pattern, so its
@@ -63,14 +49,87 @@ func TestMazeNeverWorseThanPattern(t *testing.T) {
 		if err != nil {
 			t.Fatalf("net %s: %v", net.Name, err)
 		}
-		pc := pathCost(g, pat.Route)
-		mc := pathCost(g, mz)
+		pc := pat.Route.Cost(g)
+		mc := mz.Cost(g)
 		if mc > pc+1e-6 {
 			t.Fatalf("net %s: maze cost %v exceeds pattern cost %v", net.Name, mc, pc)
 		}
 	}
 	if checked < 10 {
 		t.Fatalf("only %d two-pin nets checked", checked)
+	}
+}
+
+// TestAStarMatchesDijkstraBitIdentical is the A*/cost-cache cross-check:
+// on randomized congested grids, A* guided by the admissible unit-cost
+// bound must produce bit-identical geometry (reflect.DeepEqual on Paths)
+// and exactly equal cost to the seed Dijkstra, while settling no more
+// nodes — both on a cold graph and after WarmCostCache materializes the
+// cost field.
+func TestAStarMatchesDijkstraBitIdentical(t *testing.T) {
+	d := design.MustGenerate("18test5m", 0.003)
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := grid.NewFromDesign(d)
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < 400; i++ {
+				l := 2 + rng.Intn(3)
+				x, y := rng.Intn(g.W-1), rng.Intn(g.H-1)
+				if g.HasWireEdge(l, x, y) {
+					if g.Dir(l) == grid.Horizontal {
+						g.AddSegDemand(l, geom.Point{X: x, Y: y}, geom.Point{X: x + 1, Y: y}, rng.Intn(10))
+					} else {
+						g.AddSegDemand(l, geom.Point{X: x, Y: y}, geom.Point{X: x, Y: y + 1}, rng.Intn(10))
+					}
+				}
+			}
+			if warm {
+				g.WarmCostCache()
+				if !g.CostCacheBuilt() {
+					t.Fatal("WarmCostCache did not build the cache")
+				}
+			}
+
+			ast, dij := NewSearch(), NewSearch()
+			dij.SetAlgorithm(Dijkstra)
+			checked := 0
+			for _, net := range d.Nets {
+				if checked >= 50 {
+					break
+				}
+				checked++
+				tree := stt.Build(net)
+				pins := route.PinTerminals(tree)
+				win := net.BBox().Inflate(6).ClampTo(g.W, g.H)
+
+				ra, sa, err := ast.RouteNet(g, net.ID, pins, win)
+				if err != nil {
+					t.Fatalf("net %s astar: %v", net.Name, err)
+				}
+				rd, sd, err := dij.RouteNet(g, net.ID, pins, win)
+				if err != nil {
+					t.Fatalf("net %s dijkstra: %v", net.Name, err)
+				}
+				if !reflect.DeepEqual(ra.Paths, rd.Paths) {
+					t.Fatalf("net %s: astar geometry differs from dijkstra:\n%v\nvs\n%v",
+						net.Name, ra.Paths, rd.Paths)
+				}
+				if ca, cd := ra.Cost(g), rd.Cost(g); ca != cd {
+					t.Fatalf("net %s: astar cost %v != dijkstra cost %v", net.Name, ca, cd)
+				}
+				if sa.Expansions > sd.Expansions {
+					t.Fatalf("net %s: astar settled %d nodes, dijkstra only %d",
+						net.Name, sa.Expansions, sd.Expansions)
+				}
+			}
+			if checked < 20 {
+				t.Fatalf("only %d nets checked", checked)
+			}
+		})
 	}
 }
 
@@ -109,7 +168,7 @@ func TestDijkstraMatchesBellmanFord(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := bellmanFord(g, win, src, dst)
-		got := pathCost(g, mz)
+		got := mz.Cost(g)
 		if math.Abs(got-want) > 1e-6 {
 			t.Fatalf("trial %d %v->%v: dijkstra %v, bellman-ford %v", trial, src, dst, got, want)
 		}

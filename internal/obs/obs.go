@@ -79,6 +79,22 @@ const (
 	MRRRNets = "rrr.nets_ripped"
 	// MRRRExpansions counts maze expansions across all iterations.
 	MRRRExpansions = "rrr.expansions"
+	// MCostHits counts cost-cache fast-path reads (wire, via, segment and
+	// stack queries answered from the materialized cost field).
+	MCostHits = "grid.cost.hits"
+	// MCostMisses counts cost reads that fell back to the direct formula
+	// (unbuilt cache, stale edge or dirty line).
+	MCostMisses = "grid.cost.misses"
+	// MCostInvalidations counts per-edge cache invalidations caused by
+	// demand or history mutation.
+	MCostInvalidations = "grid.cost.invalidations"
+	// MCostWarms counts lines/cells rebuilt by Graph.WarmCostCache.
+	MCostWarms = "grid.cost.warmed_lines"
+	// MMazeExpansionsAStar / MMazeExpansionsDijkstra split the per-search
+	// expansion histogram by maze algorithm, so an A*-vs-Dijkstra
+	// before/after comparison can come straight from the registry.
+	MMazeExpansionsAStar    = "maze.expansions.astar"
+	MMazeExpansionsDijkstra = "maze.expansions.dijkstra"
 )
 
 // Pow2Buckets returns n histogram upper bounds lo, 2lo, 4lo, ...: the

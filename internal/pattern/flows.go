@@ -73,20 +73,22 @@ func segOrient(a, b geom.Point) grid.Dir {
 
 // segCostAllLayers returns, per layer, the cost of the straight run a-b, or
 // Inf on layers whose preferred direction fights the run. A zero-length run
-// costs zero on every layer.
+// costs zero on every layer. The bulk grid query answers each feasible
+// layer from the cost cache's prefix sums when warm; the DP op accounting
+// (one op per G-cell per feasible layer — the modeled-time currency) is
+// unchanged from the per-layer walk: a layer's cost is finite exactly when
+// its direction matches the run.
 func (s *solver) segCostAllLayers(a, b geom.Point) []float64 {
 	costs := make([]float64, s.L)
 	if a == b {
 		return costs
 	}
-	o := segOrient(a, b)
+	s.g.SegCostsAllLayers(a, b, costs)
+	dist := int64(geom.ManhattanDist(a, b))
 	for l := 1; l <= s.L; l++ {
-		if s.g.Dir(l) != o {
-			costs[l-1] = Inf
-			continue
+		if costs[l-1] < Inf {
+			s.ops.FlowOps += dist
 		}
-		costs[l-1] = s.g.SegCost(l, a, b)
-		s.ops.FlowOps += int64(geom.ManhattanDist(a, b))
 	}
 	return costs
 }

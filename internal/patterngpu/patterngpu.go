@@ -87,6 +87,12 @@ func (r *Router) RouteBatchBaseline(g *grid.Graph, trees []*stt.Tree) BatchResul
 }
 
 func (r *Router) routeBatch(g *grid.Graph, trees []*stt.Tree) BatchResult {
+	// Materialize the cost field before fanning out: batch entry is a
+	// single-threaded coordinator point, the only kind of place cache
+	// writes are allowed; the solve phase below then reads it lock-free.
+	// Shared by both RouteBatch and RouteBatchBaseline, so the overhead
+	// guard comparison stays like-for-like.
+	g.WarmCostCache()
 	br := BatchResult{Results: make([]pattern.Result, len(trees))}
 	blocks := make([]gpu.Block, len(trees))
 

@@ -227,6 +227,22 @@ func (r *NetRoute) HasOverflow(g *grid.Graph) bool {
 	return false
 }
 
+// Cost evaluates the routed geometry element by element at the grid's
+// current demand — the common currency for comparing routes across the
+// pattern and maze routers (the cross-check suites sum it the same way).
+func (r *NetRoute) Cost(g *grid.Graph) float64 {
+	total := 0.0
+	for _, p := range r.Paths {
+		for _, s := range p.Segs {
+			total += g.SegCost(s.Layer, s.A, s.B)
+		}
+		for _, v := range p.Vias {
+			total += g.ViaStackCost(v.X, v.Y, v.L1, v.L2)
+		}
+	}
+	return total
+}
+
 // Wirelength returns the number of distinct wire edges the route uses.
 func (r *NetRoute) Wirelength(g *grid.Graph) int {
 	wk, _ := r.canonical(g)

@@ -8,14 +8,19 @@
 #   race       — the race detector over every package that executes
 #                host-parallel: the par pool itself, core's tracing-enabled
 #                determinism suite, the taskflow executor, the concurrent
-#                obs recorders, and sched + maze, which run under the pool
-#                from core's parallel sections
+#                obs recorders, sched + maze, which run under the pool
+#                from core's parallel sections, and grid, whose cost-cache
+#                invalidation flags are mutated from concurrent rip-up
+#                windows
 #   lint       — fastgrlint, the static invariant net (determinism +
 #                passive observability contracts), gofmt verification on
 #   bench-obs  — observability overhead guard: benchgen -obs fails if the
 #                disabled-mode cost on the pattern-stage batch workload
 #                exceeds 2%
 #   bench-lint — records analyzer cost (files/sec) into BENCH_lint.json
+#   bench-maze — maze kernel guard: benchgen -maze fails unless A* on a
+#                warm cost cache beats the seed Dijkstra-cold config by
+#                1.5x with fewer expansions
 #
 # Every step runs even after a failure, and the trailer prints one
 # PASS/FAIL line per step so a red build is attributable at a glance.
@@ -41,10 +46,11 @@ $name: FAIL"
 step vet        go vet -tests=true ./...
 step build      go build ./...
 step test       go test ./...
-step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze
+step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze ./internal/grid
 step lint       go run ./cmd/fastgrlint -fmt ./...
 step bench-obs  go run ./cmd/benchgen -obs -o BENCH_obs.json
 step bench-lint go run ./cmd/benchgen -lint -o BENCH_lint.json
+step bench-maze go run ./cmd/benchgen -maze -o BENCH_maze.json
 
 echo "== tier1 summary ==$summary"
 exit $fail
