@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"fastgr/internal/atomicio"
 	"fastgr/internal/design"
 	"fastgr/internal/geom"
 	"fastgr/internal/gpu"
@@ -153,7 +154,7 @@ func runHostpar(out string) error {
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(out, data); err != nil {
 		return err
 	}
 	fmt.Printf("host-parallel benchmark record written to %s\n", out)

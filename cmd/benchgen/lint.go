@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"fastgr/internal/atomicio"
 	"fastgr/internal/lint"
 )
 
@@ -69,16 +70,11 @@ func runLint(out string) error {
 		return err
 	}
 	data = append(data, '\n')
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+	if out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if _, err := w.Write(data); err != nil {
+	} else if err := atomicio.WriteFile(out, data); err != nil {
 		return err
 	}
 	fmt.Printf("lint: %d packages, %d files, %d findings in %.0fms (%.0f files/sec)\n",

@@ -12,13 +12,16 @@
 //	benchgen -obs -o BENCH_obs.json
 //	benchgen -lint -o BENCH_lint.json
 //	benchgen -maze -o BENCH_maze.json
+//	benchgen -fault -o BENCH_fault.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"fastgr/internal/atomicio"
 	"fastgr/internal/bench"
 	"fastgr/internal/design"
 )
@@ -34,6 +37,7 @@ func main() {
 		obsFlag  = flag.Bool("obs", false, "measure observability overhead on the pattern stage and emit JSON (fails if disabled-mode overhead exceeds the budget)")
 		lintFlag = flag.Bool("lint", false, "measure the fastgrlint suite over the whole module and emit JSON (files/sec, findings)")
 		mazeFlag = flag.Bool("maze", false, "measure the maze kernel (dijkstra/astar x cold/warm cost cache) and emit JSON (fails if astar+warm misses the speedup gate)")
+		faultBmk = flag.Bool("fault", false, "measure the fault containment layer's disabled-injection overhead and emit JSON (fails past the budget)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,10 @@ func main() {
 		if err := runMaze(*out); err != nil {
 			fatal(err)
 		}
+	case *faultBmk:
+		if err := runFault(*out); err != nil {
+			fatal(err)
+		}
 	case *list:
 		for _, n := range design.AllNames() {
 			spec, _ := design.SpecByName(n)
@@ -68,17 +76,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		w := os.Stdout
+		var w io.Writer = os.Stdout
+		var af *atomicio.File
 		if *out != "" {
-			f, err := os.Create(*out)
+			af, err = atomicio.Create(*out)
 			if err != nil {
 				fatal(err)
 			}
-			defer f.Close()
-			w = f
+			defer af.Abort()
+			w = af
 		}
 		if err := design.Write(w, d); err != nil {
 			fatal(err)
+		}
+		if af != nil {
+			if err := af.Commit(); err != nil {
+				fatal(err)
+			}
 		}
 		if *out != "" {
 			st := design.ComputeStats(d)

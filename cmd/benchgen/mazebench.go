@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 
+	"fastgr/internal/atomicio"
 	"fastgr/internal/design"
 	"fastgr/internal/geom"
 	"fastgr/internal/grid"
@@ -160,7 +161,7 @@ func runMaze(out string) error {
 			return err
 		}
 	} else {
-		if err := os.WriteFile(out, data, 0o644); err != nil {
+		if err := atomicio.WriteFile(out, data); err != nil {
 			return err
 		}
 		fmt.Printf("maze kernel benchmark record written to %s\n", out)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"fastgr/internal/atomicio"
 	"fastgr/internal/design"
 	"fastgr/internal/gpu"
 	"fastgr/internal/grid"
@@ -120,7 +121,7 @@ func runObs(out string) error {
 			return err
 		}
 	} else {
-		if err := os.WriteFile(out, data, 0o644); err != nil {
+		if err := atomicio.WriteFile(out, data); err != nil {
 			return err
 		}
 		fmt.Printf("observability overhead record written to %s\n", out)

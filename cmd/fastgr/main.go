@@ -19,9 +19,11 @@ import (
 	"os"
 	"strings"
 
+	"fastgr/internal/atomicio"
 	"fastgr/internal/core"
 	"fastgr/internal/design"
 	"fastgr/internal/dr"
+	"fastgr/internal/fault"
 	"fastgr/internal/guide"
 	"fastgr/internal/maze"
 	"fastgr/internal/metrics"
@@ -47,6 +49,9 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event timeline to this file (open at ui.perfetto.dev)")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry and report as JSON to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		faultProb  = flag.Float64("fault-prob", 0, "arm the chaos injector: per-site failure probability in [0,1]; never changes the routed result")
+		faultSeed  = flag.Int64("fault-seed", 0, "chaos injection seed (with -fault-prob 0, arms the containment layer silently)")
+		mazeBudget = flag.Int64("maze-budget", 0, "per-net maze expansion budget; over-budget nets keep their pattern route (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -87,6 +92,16 @@ func main() {
 		opt.T2 = *t2
 	} else if *inFile == "" {
 		opt.T2 = scaleThreshold(500, *scale)
+	}
+	if *faultProb < 0 || *faultProb > 1 {
+		fatal(fmt.Errorf("-fault-prob %v outside [0,1]", *faultProb))
+	}
+	if *mazeBudget < 0 {
+		fatal(fmt.Errorf("-maze-budget %d is negative", *mazeBudget))
+	}
+	opt.MazeBudget = *mazeBudget
+	if *faultProb > 0 || *faultSeed != 0 {
+		opt.Fault = &fault.Options{Seed: *faultSeed, Probs: fault.UniformProbs(*faultProb)}
 	}
 
 	if *pprofAddr != "" {
@@ -132,7 +147,10 @@ func main() {
 	}
 
 	if *evalDR {
-		m := dr.Evaluate(res.Grid, res.Routes)
+		m, err := dr.EvaluateChecked(res.Grid, res.Routes)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("\ndetailed routing (track assignment): WL=%d vias=%d shorts=%d spacing=%d\n",
 			m.Wirelength, m.Vias, m.Shorts, m.Spacing)
 	}
@@ -198,6 +216,10 @@ func printReport(res *core.Result) {
 		r.Times.PlanWall, r.Times.PatternWall, r.Times.MazeWall, r.Times.WallTotal)
 	fmt.Printf("stages   batches=%d nets-to-ripup=%d hybrid-edges=%d/%d pattern-score=%.1f\n",
 		r.PatternBatches, r.NetsToRipup, r.HybridEdges, r.TotalEdges, r.PatternScore)
+	if r.Fault != (core.FaultStats{}) {
+		fmt.Printf("fault    failed-nets=%d skipped-nets=%d kernel-fallbacks=%d budget-fallbacks=%d\n",
+			r.Fault.FailedNets, r.Fault.SkippedNets, r.Fault.KernelFallbacks, r.Fault.BudgetFallbacks)
+	}
 	for i, it := range r.RRR {
 		fmt.Printf("  rrr[%d] nets=%d expansions=%d taskgraph=%v batch=%v shorts=%d score=%.1f\n",
 			i, it.Nets, it.Expansions, it.TaskGraphTime, it.BatchTime, it.Quality.Shorts, it.Score)
@@ -205,12 +227,15 @@ func printReport(res *core.Result) {
 }
 
 func writeTrace(path string, t *obs.Tracer) error {
-	f, err := os.Create(path)
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return obs.WriteTrace(f, t)
+	defer f.Abort()
+	if err := obs.WriteTrace(f, t); err != nil {
+		return err
+	}
+	return f.Commit()
 }
 
 // writeMetrics dumps the metrics registry next to the report facts an
@@ -239,14 +264,17 @@ func writeMetrics(path string, o *obs.Observer, res *core.Result) error {
 		RRR:          r.RRR,
 		Metrics:      o.M().Snapshot(),
 	}
-	f, err := os.Create(path)
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Abort()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return f.Commit()
 }
 
 // writeGuides emits CUGR-style routing guides, verifying the coverage
@@ -256,12 +284,15 @@ func writeGuides(path string, res *core.Result) error {
 	if err := guide.Covers(res, guides); err != nil {
 		return fmt.Errorf("guide contract violated: %w", err)
 	}
-	f, err := os.Create(path)
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return guide.Write(f, guides)
+	defer f.Abort()
+	if err := guide.Write(f, guides); err != nil {
+		return err
+	}
+	return f.Commit()
 }
 
 func fatal(err error) {

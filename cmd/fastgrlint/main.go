@@ -2,9 +2,9 @@
 // internal/lint) over the tree: determinism-critical packages may not
 // read the wall clock or the global rand source, map iteration may not
 // produce order-sensitive output, goroutines spawn only through the
-// executor packages, internal/obs stays nil-safe, and atomically
-// accessed fields stay atomic everywhere. See DESIGN.md, "Static
-// invariants".
+// executor packages, recover() lives only in the fault containment
+// package, internal/obs stays nil-safe, and atomically accessed fields
+// stay atomic everywhere. See DESIGN.md, "Static invariants".
 //
 // Usage:
 //

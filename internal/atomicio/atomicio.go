@@ -1,0 +1,90 @@
+// Package atomicio writes artifact files crash-safely: content goes to
+// a temp file in the destination directory and reaches the final name
+// only through os.Rename, which is atomic on POSIX filesystems. An
+// interrupted run — a panic mid-encode, a killed process, a full disk —
+// therefore never leaves a truncated BENCH_*.json or trace file where a
+// previous good artifact stood; it leaves either the old file or the new
+// one, plus at worst an orphaned *.tmp.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File is an in-progress atomic write. Write content, then Commit to
+// publish it under the final name, or Abort to discard it. Exactly one
+// of the two must be called; Abort after Commit is a no-op, so
+// `defer f.Abort()` right after Create is the idiomatic cleanup.
+type File struct {
+	tmp  *os.File
+	path string
+	done bool
+}
+
+// Create opens a temp file next to path (same directory, so the final
+// rename cannot cross filesystems).
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write appends to the temp file.
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Commit flushes the temp file to disk and renames it over the final
+// path. On any error the temp file is removed and the destination is
+// untouched.
+func (f *File) Commit() error {
+	if f.done {
+		return fmt.Errorf("atomicio: double commit of %s", f.path)
+	}
+	f.done = true
+	if err := f.tmp.Sync(); err != nil {
+		f.discard()
+		return fmt.Errorf("atomicio: sync %s: %w", f.path, err)
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicio: close %s: %w", f.path, err)
+	}
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("atomicio: publish %s: %w", f.path, err)
+	}
+	return nil
+}
+
+// Abort discards the temp file, leaving the destination untouched. Safe
+// to call after Commit (no-op), which makes it deferrable.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.discard()
+}
+
+func (f *File) discard() {
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+}
+
+// WriteFile is the one-shot convenience: atomically replace path's
+// content. The crash-safe sibling of os.WriteFile.
+func WriteFile(path string, data []byte) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	return f.Commit()
+}

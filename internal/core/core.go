@@ -18,11 +18,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"fastgr/internal/design"
+	"fastgr/internal/fault"
 	"fastgr/internal/gpu"
 	"fastgr/internal/grid"
 	"fastgr/internal/maze"
@@ -118,6 +119,38 @@ type Options struct {
 	// are bit-identical with it on, off, or at any ExecWorkers count; the
 	// determinism suite runs with tracing enabled to enforce that.
 	Obs *obs.Observer
+	// Fault, when non-nil, arms the fault containment layer (internal/fault)
+	// around every parallel work unit: panics and injected faults are
+	// retried, exhausted units degrade (a failed reroute keeps its pattern
+	// route, a failed kernel batch falls back to the CPU path) and the
+	// Report's FaultStats records the damage. nil runs the uncontained
+	// fast paths — bit-identical to builds predating the layer. For a
+	// fixed (Fault.Seed, Fault.Probs, MazeBudget), results remain
+	// bit-identical at every ExecWorkers count.
+	Fault *fault.Options
+	// MazeBudget caps the expansions one rip-up maze search may spend;
+	// a net that exceeds it keeps its pattern route (recorded as a budget
+	// fallback). 0 is unlimited. Works with or without Fault.
+	MazeBudget int64
+}
+
+// FaultStats aggregates the containment outcomes of one run. The counts
+// come from the deterministic control flow (not from metric reads), so
+// they are part of the bit-identical Report contract.
+type FaultStats struct {
+	// FailedNets counts rip-up tasks whose containment attempts were
+	// exhausted; the nets keep their previous committed route.
+	FailedNets int
+	// SkippedNets counts rip-up tasks never run because a task-graph
+	// dependency failed (FastGR scheduling only; the batch-barrier
+	// baseline has no dependents to skip).
+	SkippedNets int
+	// KernelFallbacks counts pattern-stage batches degraded to the CPU
+	// baseline path.
+	KernelFallbacks int
+	// BudgetFallbacks counts rip-up searches abandoned over budget
+	// (configured or injected); those nets keep their pattern route.
+	BudgetFallbacks int
 }
 
 // DefaultOptions returns the paper-faithful configuration for a variant.
@@ -173,6 +206,11 @@ type IterStats struct {
 	// reported metric (the snapshot is a pure function of grid state).
 	Quality metrics.Quality
 	Score   float64
+	// FailedNets / SkippedNets / BudgetFallbacks are this iteration's
+	// containment outcomes (see FaultStats); all zero without faults.
+	FailedNets      int
+	SkippedNets     int
+	BudgetFallbacks int
 }
 
 // Report is the measurable outcome of one routing run.
@@ -205,6 +243,10 @@ type Report struct {
 	// iterations, regardless of variant, for Table VIII's scheduler column.
 	MazeTaskGraphTime time.Duration
 	MazeBatchTime     time.Duration
+
+	// Fault aggregates containment outcomes across the run; all zero in
+	// an unfaulted, unbudgeted run.
+	Fault FaultStats
 }
 
 // Result bundles the report with the routed state for downstream consumers
@@ -235,6 +277,7 @@ type runner struct {
 
 	g      *grid.Graph
 	pool   *par.Pool
+	fc     *fault.Containment
 	trees  []*stt.Tree
 	routes []*route.NetRoute
 	rep    Report
@@ -245,10 +288,16 @@ func (r *runner) run() (*Result, error) {
 	r.g.SetObserver(r.opt.Obs)
 	r.pool = par.NewPool(r.opt.ExecWorkers)
 	r.pool.SetObserver(r.opt.Obs)
+	if r.opt.Fault != nil {
+		r.fc = fault.New(*r.opt.Fault, r.opt.Obs)
+		r.pool.SetFault(r.fc)
+	}
 	r.rep.Design = r.d.Name
 	r.rep.Variant = r.opt.Variant.String()
 
-	r.plan()
+	if err := r.plan(); err != nil {
+		return nil, err
+	}
 	r.patternStage()
 	if err := r.rrrStage(); err != nil {
 		return nil, err
@@ -267,8 +316,10 @@ func (r *runner) run() (*Result, error) {
 // plan builds and congestion-shifts the Steiner tree of every net (the
 // pattern routing planning box of Fig. 5). Nets are independent — the
 // estimator is a read-only snapshot and each net writes only its own tree
-// slot — so construction fans out over the executor pool.
-func (r *runner) plan() {
+// slot — so construction fans out over the executor pool. Every later
+// stage needs every tree, so a net whose planning unit exhausts
+// containment aborts the run with its typed error.
+func (r *runner) plan() error {
 	start := obs.StartStopwatch()
 	sp := r.opt.Obs.T().StartSpan("plan", obs.Coordinator)
 	defer sp.End()
@@ -281,15 +332,20 @@ func (r *runner) plan() {
 	}
 	r.trees = make([]*stt.Tree, maxID+1)
 	r.routes = make([]*route.NetRoute, maxID+1)
-	r.pool.For(len(r.d.Nets), func(_, i int) {
+	errs := r.pool.ForUnits(fault.SitePlan, len(r.d.Nets), func(_, i int) error {
 		n := r.d.Nets[i]
 		t := stt.Build(n)
 		if !r.opt.NoEdgeShift {
 			t.Shift(est)
 		}
 		r.trees[n.ID] = t
+		return nil
 	})
 	r.rep.Times.PlanWall = start.Elapsed()
+	if len(errs) > 0 {
+		return fmt.Errorf("core: planning: %w", errs[0])
+	}
+	return nil
 }
 
 // patternStage routes every net with the variant's pattern kernel, batch by
@@ -362,6 +418,8 @@ func (r *runner) patternStage() {
 		router := patterngpu.New(r.opt.Device, cfg)
 		router.Workers = r.pool.Workers()
 		router.Obs = r.opt.Obs
+		router.Fault = r.fc
+		router.CPU = r.opt.CPU
 		for bi, batch := range batches {
 			bsp := batchSpan(tr, bi)
 			trees := make([]*stt.Tree, len(batch))
@@ -371,6 +429,9 @@ func (r *runner) patternStage() {
 				trees[i] = r.trees[nets[i].ID]
 			}
 			br := router.RouteBatch(r.g, trees)
+			if br.CPUFallback {
+				r.rep.Fault.KernelFallbacks++
+			}
 			for i, res := range br.Results {
 				res.Route.Commit(r.g)
 				r.routes[nets[i].ID] = res.Route
@@ -421,6 +482,7 @@ func (r *runner) rrrStage() error {
 		searches[i] = maze.NewSearch()
 		searches[i].SetAlgorithm(r.opt.MazeAlgorithm)
 		searches[i].SetObserver(r.opt.Obs)
+		searches[i].SetBudget(r.opt.MazeBudget)
 	}
 
 	for iter := 0; iter < r.opt.RRRIters; iter++ {
@@ -428,7 +490,10 @@ func (r *runner) rrrStage() error {
 		if tr.On() {
 			iterSp = tr.StartSpan(fmt.Sprintf("rrr.iter[%d]", iter), obs.Coordinator)
 		}
-		violating := r.violatingNets()
+		violating, scanErr := r.violatingNets()
+		if scanErr != nil {
+			return scanErr
+		}
 		if iter == 0 {
 			r.rep.NetsToRipup = len(violating)
 		}
@@ -460,51 +525,82 @@ func (r *runner) rrrStage() error {
 
 		durations := make([]time.Duration, len(tasks))
 		expansions := make([]int64, len(tasks))
-		var errMu sync.Mutex
-		var firstErr error
-		work := func(worker, ti int) {
+		budgetTrips := make([]bool, len(tasks))
+		// work reroutes one task; it is retry-safe: injections fire at
+		// wrapper entry (before any grid mutation) and the Committed guards
+		// make the uncommit/restore idempotent, so a retried unit always
+		// starts from the committed old route. A budget trip — real or
+		// injected — is a graceful outcome (the net keeps its current
+		// route), any other maze error is a hard abort.
+		work := func(worker, ti int) error {
 			n := tasks[ti].Payload.(*design.Net)
 			var sp obs.Span
 			if tr.On() {
 				sp = tr.StartSpan("maze:"+n.Name, worker)
 			}
 			defer sp.End()
+			if r.fc.InjectBudget(ti, worker) {
+				budgetTrips[ti] = true
+				return nil
+			}
 			old := r.routes[n.ID]
-			old.Uncommit(r.g)
+			if old.Committed() {
+				old.Uncommit(r.g)
+			}
 			pins := route.PinTerminals(r.trees[n.ID])
 			nr, st, err := searches[worker].RouteNet(r.g, n.ID, pins, tasks[ti].BBox)
 			if err != nil {
 				// Restore the old route so the grid stays consistent.
-				old.Commit(r.g)
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
+				if !old.Committed() {
+					old.Commit(r.g)
 				}
-				errMu.Unlock()
-				return
+				var be *maze.BudgetError
+				if errors.As(err, &be) {
+					budgetTrips[ti] = true
+					expansions[ti] = st.Expansions
+					durations[ti] = time.Duration(float64(st.Expansions) * r.opt.MazeNsPerExpansion)
+					r.fc.Degrade(1)
+					return nil
+				}
+				return err
 			}
 			nr.Commit(r.g)
 			r.routes[n.ID] = nr
 			expansions[ti] = st.Expansions
 			durations[ti] = time.Duration(float64(st.Expansions) * r.opt.MazeNsPerExpansion)
+			return nil
 		}
 
+		iterFailed := 0
+		iterSkipped := 0
 		if r.opt.Variant == CUGR {
 			// Batch-barrier strategy: batches execute in order with a full
 			// barrier between them; tasks inside a batch have disjoint maze
 			// windows and run on the worker pool (modeled as P-worker
-			// parallel below either way).
+			// parallel below either way). A unit that exhausts containment
+			// leaves its net on the old route; an uncontained maze error
+			// aborts the iteration.
 			for _, batch := range sched.ExtractBatches(tasks) {
-				r.pool.For(len(batch), func(worker, bi int) {
-					work(worker, batch[bi].ID)
+				errs := r.pool.ForUnits(fault.SiteTask, len(batch), func(worker, bi int) error {
+					return work(worker, batch[bi].ID)
 				})
+				for _, we := range errs {
+					if !we.Contained {
+						return fmt.Errorf("core: rip-up iteration %d: %w", iter, we.Cause)
+					}
+					iterFailed++
+				}
 			}
 		} else {
-			taskflow.RunWorkersObserved(graph, r.pool.Workers(), r.opt.Obs, work)
+			frep := taskflow.RunWorkersFault(graph, r.pool.Workers(), r.opt.Obs, r.fc, work)
+			if frep.CancelErr != nil {
+				return fmt.Errorf("core: rip-up iteration %d: %w", iter, frep.CancelErr)
+			}
+			iterFailed = len(frep.Failed)
+			iterSkipped = len(frep.Skipped)
 		}
-		if firstErr != nil {
-			return fmt.Errorf("core: rip-up iteration %d: %w", iter, firstErr)
-		}
+		r.rep.Fault.FailedNets += iterFailed
+		r.rep.Fault.SkippedNets += iterSkipped
 
 		// Both scheduling models over the same recorded durations, on the
 		// paper-faithful (bounding-box) conflict structure.
@@ -523,15 +619,25 @@ func (r *runner) rrrStage() error {
 		for _, e := range expansions {
 			totalExp += e
 		}
+		iterBudget := 0
+		for _, tripped := range budgetTrips {
+			if tripped {
+				iterBudget++
+			}
+		}
+		r.rep.Fault.BudgetFallbacks += iterBudget
 		iterQ := r.snapshotQuality()
 		r.rep.RRR = append(r.rep.RRR, IterStats{
-			Nets:          len(violating),
-			Expansions:    totalExp,
-			TaskGraphTime: tg,
-			BatchTime:     bb,
-			ConflictEdges: modelGraph.Edges,
-			Quality:       iterQ,
-			Score:         iterQ.Score(),
+			Nets:            len(violating),
+			Expansions:      totalExp,
+			TaskGraphTime:   tg,
+			BatchTime:       bb,
+			ConflictEdges:   modelGraph.Edges,
+			Quality:         iterQ,
+			Score:           iterQ.Score(),
+			FailedNets:      iterFailed,
+			SkippedNets:     iterSkipped,
+			BudgetFallbacks: iterBudget,
 		})
 		if m := r.opt.Obs.M(); m != nil {
 			m.Counter(obs.MRRRNets).Add(int64(len(violating)))
@@ -562,20 +668,26 @@ func (r *runner) rrrStage() error {
 // violatingNets returns the nets whose routes cross an over-capacity edge.
 // The scan reads only the grid and each net's own route, so it fans out over
 // the pool; the result list is assembled in net order to stay deterministic.
-func (r *runner) violatingNets() []*design.Net {
+// A scan unit exhausting containment aborts the run: a missing flag would
+// silently drop a violating net from rip-up.
+func (r *runner) violatingNets() ([]*design.Net, error) {
 	flags := make([]bool, len(r.d.Nets))
-	r.pool.For(len(r.d.Nets), func(_, i int) {
+	errs := r.pool.ForUnits(fault.SiteScan, len(r.d.Nets), func(_, i int) error {
 		if rt := r.routes[r.d.Nets[i].ID]; rt != nil && rt.HasOverflow(r.g) {
 			flags[i] = true
 		}
+		return nil
 	})
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("core: overflow scan: %w", errs[0])
+	}
 	var out []*design.Net
 	for i, f := range flags {
 		if f {
 			out = append(out, r.d.Nets[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // snapshotQuality evaluates eq. 15 over the current routes and grid — a

@@ -10,6 +10,7 @@
 package dr
 
 import (
+	"fmt"
 	"sort"
 
 	"fastgr/internal/grid"
@@ -37,6 +38,64 @@ type interval struct {
 type panelKey struct {
 	layer int
 	line  int
+}
+
+// ValidateRoutes checks every route's geometry against the grid before
+// evaluation: segment layers inside [1, L], endpoints inside the G-cell
+// array, segments axis-aligned along their layer's preferred direction,
+// via stacks in range. Evaluate indexes grid capacity arrays straight
+// from these coordinates, so a corrupt route (a truncated guide file, a
+// buggy deserializer) must be rejected here with a named net and
+// coordinate rather than panic deep inside assignPanel.
+func ValidateRoutes(g *grid.Graph, routes []*route.NetRoute) error {
+	for _, r := range routes {
+		if r == nil {
+			continue
+		}
+		for _, p := range r.Paths {
+			for _, s := range p.Segs {
+				if s.Layer < 1 || s.Layer > g.L {
+					return fmt.Errorf("dr: net %d: segment %v-%v layer %d outside [1,%d]",
+						r.NetID, s.A, s.B, s.Layer, g.L)
+				}
+				for _, pt := range [2]struct{ X, Y int }{{s.A.X, s.A.Y}, {s.B.X, s.B.Y}} {
+					if pt.X < 0 || pt.X >= g.W || pt.Y < 0 || pt.Y >= g.H {
+						return fmt.Errorf("dr: net %d: segment endpoint (%d,%d) layer %d outside %dx%d grid",
+							r.NetID, pt.X, pt.Y, s.Layer, g.W, g.H)
+					}
+				}
+				if g.Dir(s.Layer) == grid.Horizontal {
+					if s.A.Y != s.B.Y {
+						return fmt.Errorf("dr: net %d: segment %v-%v not row-aligned on horizontal layer %d",
+							r.NetID, s.A, s.B, s.Layer)
+					}
+				} else if s.A.X != s.B.X {
+					return fmt.Errorf("dr: net %d: segment %v-%v not column-aligned on vertical layer %d",
+						r.NetID, s.A, s.B, s.Layer)
+				}
+			}
+			for _, v := range p.Vias {
+				if v.X < 0 || v.X >= g.W || v.Y < 0 || v.Y >= g.H {
+					return fmt.Errorf("dr: net %d: via (%d,%d) outside %dx%d grid",
+						r.NetID, v.X, v.Y, g.W, g.H)
+				}
+				if v.L1 < 1 || v.L1 > v.L2 || v.L2 > g.L {
+					return fmt.Errorf("dr: net %d: via (%d,%d) layer span [%d,%d] invalid for %d layers",
+						r.NetID, v.X, v.Y, v.L1, v.L2, g.L)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EvaluateChecked is Evaluate behind the ValidateRoutes gate — the entry
+// point for routes that crossed a serialization boundary.
+func EvaluateChecked(g *grid.Graph, routes []*route.NetRoute) (Metrics, error) {
+	if err := ValidateRoutes(g, routes); err != nil {
+		return Metrics{}, err
+	}
+	return Evaluate(g, routes), nil
 }
 
 // Evaluate runs track assignment under the given routes (indexed however the

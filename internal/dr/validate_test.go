@@ -1,0 +1,86 @@
+package dr
+
+import (
+	"strings"
+	"testing"
+
+	"fastgr/internal/geom"
+	"fastgr/internal/route"
+)
+
+func routeWithVia(net, x, y, l1, l2 int) *route.NetRoute {
+	// Built literally, not via AddVia, which normalizes inverted spans —
+	// the validator must catch exactly what a deserializer could produce.
+	return &route.NetRoute{NetID: net, Paths: []route.Path{
+		{Vias: []route.Via{{X: x, Y: y, L1: l1, L2: l2}}},
+	}}
+}
+
+// TestValidateRoutesMalformed walks the table of geometry corruptions a
+// broken serializer could hand Evaluate; each must be rejected with an
+// error naming the net and the offending coordinate.
+func TestValidateRoutesMalformed(t *testing.T) {
+	g := testGrid(t, 8) // 32x32, 4 layers; odd layers horizontal
+	cases := []struct {
+		name string
+		r    *route.NetRoute
+		want string // substring of the error ("" = valid)
+	}{
+		{"valid horizontal", routeWithSeg(1, 3, geom.Point{X: 2, Y: 5}, geom.Point{X: 10, Y: 5}), ""},
+		{"valid vertical", routeWithSeg(1, 2, geom.Point{X: 4, Y: 1}, geom.Point{X: 4, Y: 9}), ""},
+		{"valid via", routeWithVia(1, 3, 3, 1, 4), ""},
+		{"layer zero", routeWithSeg(7, 0, geom.Point{X: 2, Y: 5}, geom.Point{X: 10, Y: 5}),
+			"net 7: segment (2,5)-(10,5) layer 0 outside [1,4]"},
+		{"layer too high", routeWithSeg(7, 5, geom.Point{X: 2, Y: 5}, geom.Point{X: 10, Y: 5}),
+			"layer 5 outside [1,4]"},
+		{"endpoint off grid", routeWithSeg(3, 3, geom.Point{X: 2, Y: 5}, geom.Point{X: 32, Y: 5}),
+			"net 3: segment endpoint (32,5) layer 3 outside 32x32 grid"},
+		{"negative endpoint", routeWithSeg(3, 3, geom.Point{X: -1, Y: 5}, geom.Point{X: 4, Y: 5}),
+			"endpoint (-1,5)"},
+		{"diagonal on horizontal layer", routeWithSeg(2, 3, geom.Point{X: 2, Y: 5}, geom.Point{X: 10, Y: 6}),
+			"not row-aligned on horizontal layer 3"},
+		{"diagonal on vertical layer", routeWithSeg(2, 2, geom.Point{X: 2, Y: 5}, geom.Point{X: 3, Y: 9}),
+			"not column-aligned on vertical layer 2"},
+		{"via off grid", routeWithVia(4, 40, 3, 1, 2),
+			"net 4: via (40,3) outside 32x32 grid"},
+		{"via layer zero", routeWithVia(4, 3, 3, 0, 2),
+			"layer span [0,2] invalid for 4 layers"},
+		{"via span inverted", routeWithVia(4, 3, 3, 3, 2),
+			"layer span [3,2] invalid"},
+		{"via above stack", routeWithVia(4, 3, 3, 2, 5),
+			"layer span [2,5] invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateRoutes(g, []*route.NetRoute{nil, tc.r})
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid route rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corrupt route accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateCheckedGatesEvaluation(t *testing.T) {
+	g := testGrid(t, 8)
+	good := routeWithSeg(1, 3, geom.Point{X: 2, Y: 5}, geom.Point{X: 10, Y: 5})
+	m, err := EvaluateChecked(g, []*route.NetRoute{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Evaluate(g, []*route.NetRoute{good}); m != want {
+		t.Fatalf("EvaluateChecked = %+v, Evaluate = %+v", m, want)
+	}
+	bad := routeWithSeg(1, 9, geom.Point{X: 2, Y: 5}, geom.Point{X: 10, Y: 5})
+	if _, err := EvaluateChecked(g, []*route.NetRoute{bad}); err == nil {
+		t.Fatal("EvaluateChecked accepted an out-of-stack layer")
+	}
+}

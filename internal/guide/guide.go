@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"fastgr/internal/core"
@@ -239,10 +240,9 @@ func Read(r io.Reader) ([]Guide, error) {
 			guides = append(guides, *cur)
 			cur, inBody = nil, false
 		case inBody:
-			var b Box
-			if _, err := fmt.Sscanf(text, "%d %d %d %d %d",
-				&b.Rect.Lo.X, &b.Rect.Lo.Y, &b.Rect.Hi.X, &b.Rect.Hi.Y, &b.Layer); err != nil {
-				return nil, fmt.Errorf("guide: line %d: %v", line, err)
+			b, err := parseBox(text)
+			if err != nil {
+				return nil, fmt.Errorf("guide: line %d: net %q: %w", line, cur.Net, err)
 			}
 			cur.Boxes = append(cur.Boxes, b)
 		default:
@@ -259,4 +259,41 @@ func Read(r io.Reader) ([]Guide, error) {
 		return nil, fmt.Errorf("guide: unterminated guide for net %q", cur.Net)
 	}
 	return guides, nil
+}
+
+// parseBox validates one "x1 y1 x2 y2 layer" body line strictly: exactly
+// five integer fields, non-negative coordinates, Lo <= Hi on both axes, a
+// positive layer. fmt.Sscanf would silently accept trailing junk and
+// reversed rectangles; a guide file is an inter-tool contract, so a
+// malformed line gets a precise diagnosis instead of a half-parsed Box.
+func parseBox(text string) (Box, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 5 {
+		return Box{}, fmt.Errorf("want 5 fields \"x1 y1 x2 y2 layer\", got %d", len(fields))
+	}
+	vals := make([]int, 5)
+	names := [5]string{"x1", "y1", "x2", "y2", "layer"}
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return Box{}, fmt.Errorf("field %s: %q is not an integer", names[i], f)
+		}
+		vals[i] = v
+	}
+	b := Box{
+		Layer: vals[4],
+		Rect: geom.Rect{Lo: geom.Point{X: vals[0], Y: vals[1]},
+			Hi: geom.Point{X: vals[2], Y: vals[3]}},
+	}
+	if b.Layer < 1 {
+		return Box{}, fmt.Errorf("layer %d < 1", b.Layer)
+	}
+	if b.Rect.Lo.X < 0 || b.Rect.Lo.Y < 0 {
+		return Box{}, fmt.Errorf("negative corner (%d,%d)", b.Rect.Lo.X, b.Rect.Lo.Y)
+	}
+	if b.Rect.Lo.X > b.Rect.Hi.X || b.Rect.Lo.Y > b.Rect.Hi.Y {
+		return Box{}, fmt.Errorf("inverted rectangle (%d,%d)-(%d,%d)",
+			b.Rect.Lo.X, b.Rect.Lo.Y, b.Rect.Hi.X, b.Rect.Hi.Y)
+	}
+	return b, nil
 }

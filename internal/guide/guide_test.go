@@ -140,3 +140,48 @@ func TestDeterministicOutput(t *testing.T) {
 		t.Fatal("guide generation nondeterministic")
 	}
 }
+
+// TestReadMalformedBoxLines pins the strict body-line validation: every
+// corruption is rejected with an error naming the line, the net and the
+// offending field — the diagnosis a user debugging a cross-tool guide
+// file needs.
+func TestReadMalformedBoxLines(t *testing.T) {
+	cases := []struct {
+		name, line, want string
+	}{
+		{"too few fields", "1 2 3 4", `want 5 fields`},
+		{"too many fields", "1 2 3 4 5 6", `want 5 fields`},
+		{"trailing junk", "1 2 3 4 x", `field layer: "x" is not an integer`},
+		{"non-integer coord", "a 2 3 4 1", `field x1: "a" is not an integer`},
+		{"float coord", "1.5 2 3 4 1", `field x1: "1.5" is not an integer`},
+		{"layer zero", "1 2 3 4 0", "layer 0 < 1"},
+		{"negative layer", "1 2 3 4 -2", "layer -2 < 1"},
+		{"negative corner", "-1 2 3 4 1", "negative corner (-1,2)"},
+		{"inverted x", "5 2 3 4 1", "inverted rectangle (5,2)-(3,4)"},
+		{"inverted y", "1 9 3 4 1", "inverted rectangle (1,9)-(3,4)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := "netA\n(\n" + tc.line + "\n)\n"
+			_, err := Read(strings.NewReader(in))
+			if err == nil {
+				t.Fatalf("malformed box line %q accepted", tc.line)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), `net "netA"`) {
+				t.Fatalf("error %q does not locate line 3 / net netA", err)
+			}
+		})
+	}
+	// Boundary cases that must stay accepted: degenerate single-cell box,
+	// extra whitespace between fields.
+	g, err := Read(strings.NewReader("netA\n(\n7 7 7 7 1\n  1\t2  3 4   2 \n)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 1 || len(g[0].Boxes) != 2 {
+		t.Fatalf("valid boundary guides misparsed: %+v", g)
+	}
+}

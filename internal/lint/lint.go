@@ -32,6 +32,7 @@ const (
 	CheckDetwall     = "detwall"
 	CheckDetmap      = "detmap"
 	CheckGoroutine   = "goroutine-hygiene"
+	CheckRecover     = "recover-hygiene"
 	CheckObsNilsafe  = "obs-nilsafe"
 	CheckAtomic      = "atomic-consistency"
 	CheckSuppression = "suppression" // meta-check: malformed or unused //lint:ignore
@@ -119,6 +120,9 @@ func (r *Runner) Run(patterns ...string) ([]Finding, error) {
 		}
 		if !r.Policy.goroutineAllowed(p.Path) {
 			raw = append(raw, checkGoroutine(p)...)
+		}
+		if !r.Policy.recoverAllowed(p.Path) {
+			raw = append(raw, checkRecover(p)...)
 		}
 		if r.Policy.nilsafeApplies(p.Path) {
 			raw = append(raw, checkNilsafe(p)...)

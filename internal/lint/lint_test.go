@@ -18,6 +18,7 @@ func fixturePolicy() Policy {
 		DetwallExempt:    []string{"fixture/exempt"},
 		GoroutineAllowed: []string{"fixture/spawnok"},
 		NilsafePackages:  []string{"fixture/nilsafe"},
+		RecoverAllowed:   []string{"fixture/faultok"},
 	}
 }
 
@@ -71,7 +72,7 @@ func TestFixtureChecksCovered(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, check := range []string{
-		CheckDetwall, CheckDetmap, CheckGoroutine,
+		CheckDetwall, CheckDetmap, CheckGoroutine, CheckRecover,
 		CheckObsNilsafe, CheckAtomic, CheckSuppression,
 	} {
 		if !strings.Contains(string(data), "["+check+"]") {

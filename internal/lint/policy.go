@@ -24,6 +24,11 @@ type Policy struct {
 	// methods must open with a nil-receiver guard (the flight recorder's
 	// disabled-mode contract).
 	NilsafePackages []string
+	// RecoverAllowed lists the packages permitted to call recover(). All
+	// other panic recovery must go through the fault containment layer,
+	// which counts every recovery into the injected == recovered +
+	// degraded accounting equation and keeps retries deterministic.
+	RecoverAllowed []string
 }
 
 // DefaultPolicy is the rule table for the fastgr module itself.
@@ -37,6 +42,10 @@ type Policy struct {
 //     executor and obs itself; cmd binaries needing a service goroutine
 //     (e.g. the pprof listener) must justify it with a suppression.
 //   - internal/obs carries the nil-safety contract.
+//   - internal/fault is the only package allowed to call recover():
+//     containment re-counts every recovery into the fault accounting
+//     equation; an uncounted recover elsewhere could silently mask a
+//     determinism violation.
 //   - internal/grid is deliberately exempt from nothing: the cost-field
 //     cache mixes owner-exclusive plain state (edge values, stale flags)
 //     with shared atomic dirty flags, and the atomic-consistency check is
@@ -59,6 +68,9 @@ func DefaultPolicy() Policy {
 		},
 		NilsafePackages: []string{
 			"fastgr/internal/obs",
+		},
+		RecoverAllowed: []string{
+			"fastgr/internal/fault",
 		},
 	}
 }
@@ -85,3 +97,4 @@ func (p Policy) detwallApplies(path string) bool   { return !matchAny(p.DetwallE
 func (p Policy) detmapApplies(path string) bool    { return !matchAny(p.DetmapExempt, path) }
 func (p Policy) goroutineAllowed(path string) bool { return matchAny(p.GoroutineAllowed, path) }
 func (p Policy) nilsafeApplies(path string) bool   { return matchAny(p.NilsafePackages, path) }
+func (p Policy) recoverAllowed(path string) bool   { return matchAny(p.RecoverAllowed, path) }

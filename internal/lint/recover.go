@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkRecover flags recover() calls outside the sanctioned containment
+// package (internal/fault). recover is how a panic stops being a crash
+// and starts being a silent wrong answer: the fault layer is the one
+// place allowed to make that trade, because it re-counts every recovery
+// into the injected == recovered + degraded accounting equation and
+// keeps the retry deterministic. A recover anywhere else can swallow a
+// determinism violation before the chaos suite ever sees it.
+func checkRecover(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "recover" || len(call.Args) != 0 {
+				return true
+			}
+			// A local function named recover shadows the builtin; only
+			// the builtin is the containment primitive.
+			if obj, known := p.Info.Uses[id]; known {
+				if _, builtin := obj.(*types.Builtin); !builtin {
+					return true
+				}
+			}
+			out = append(out, Finding{
+				Pos:    p.Fset.Position(call.Pos()),
+				Check:  CheckRecover,
+				Msg:    "recover() outside the fault containment package",
+				Remedy: "route panic recovery through internal/fault so it stays counted and deterministic, or suppress with //lint:ignore recover-hygiene <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// Package faultok is on the RecoverAllowed list (it plays the role of
+// the fault containment package): recover() is clean here.
+package faultok
+
+// Contain recovers freely.
+func Contain(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}

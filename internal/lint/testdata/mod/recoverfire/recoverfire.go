@@ -1,0 +1,30 @@
+// Package recoverfire exercises recover-hygiene: it is not on the
+// RecoverAllowed list, so bare recover() calls fire.
+package recoverfire
+
+// Swallow fires: panic recovery outside the containment layer.
+func Swallow(f func()) (crashed bool) {
+	defer func() {
+		if recover() != nil {
+			crashed = true
+		}
+	}()
+	f()
+	return false
+}
+
+// Guarded is suppressed with a reason.
+func Guarded(f func()) {
+	defer func() {
+		//lint:ignore recover-hygiene fixture: demonstrates a justified recovery boundary
+		recover()
+	}()
+	f()
+}
+
+// recover shadows the builtin inside Shadowed; calling the shadow is
+// clean — only the builtin is the containment primitive.
+func Shadowed() int {
+	recover := func() int { return 7 }
+	return recover()
+}

@@ -23,6 +23,7 @@
 package maze
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -58,6 +59,22 @@ func (a Algorithm) String() string {
 		return "dijkstra"
 	}
 	return "astar"
+}
+
+// BudgetError reports a RouteNet abandoned because the net's searches
+// settled more nodes than the configured expansion budget allows. The
+// caller degrades gracefully — typically by keeping the net's pattern
+// route. The trip point is a pure function of the graph, the net and the
+// budget (expansion order is deterministic), so budgeted runs stay
+// bit-identical at every worker count.
+type BudgetError struct {
+	NetID      int
+	Budget     int64
+	Expansions int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("expansion budget %d exhausted after %d expansions", e.Budget, e.Expansions)
 }
 
 // RouteNet maze-routes a whole net inside the window with a fresh scratch
@@ -106,6 +123,10 @@ type Search struct {
 	hWire float64
 	hVia  float64
 
+	// budget caps the settled-node count across one RouteNet call; 0 (the
+	// default) is unlimited.
+	budget int64
+
 	q     pq
 	nodes []geom.Point3 // pathNodes buffer
 	pts   []geom.Point3 // reconstruct buffer
@@ -124,6 +145,11 @@ func NewSearch() *Search { return &Search{} }
 
 // SetAlgorithm selects the search strategy for subsequent RouteNet calls.
 func (s *Search) SetAlgorithm(a Algorithm) { s.alg = a }
+
+// SetBudget caps the total expansions (settled nodes) one RouteNet call
+// may spend across its passes; exceeding it aborts the net with a
+// *BudgetError. 0 disables the cap.
+func (s *Search) SetBudget(budget int64) { s.budget = budget }
 
 // SetObserver attaches (or, with nil, detaches) the flight recorder:
 // every RouteNet then records its expansion count into the
@@ -211,10 +237,20 @@ func (s *Search) RouteNet(g *grid.Graph, netID int, pins []geom.Point3, window g
 		}
 	}
 	for len(s.targets) > 0 {
-		path, reached, st, err := s.search(s.connected)
+		limit := int64(-1) // unlimited
+		if s.budget > 0 {
+			limit = s.budget - stats.Expansions
+		}
+		path, reached, st, err := s.search(s.connected, limit)
 		stats.Expansions += st.Expansions
 		stats.Pushes += st.Pushes
 		if err != nil {
+			var be *BudgetError
+			if errors.As(err, &be) {
+				be.NetID = netID
+				be.Budget = s.budget
+				be.Expansions = stats.Expansions
+			}
 			return nil, stats, fmt.Errorf("maze: net %d: %w", netID, err)
 		}
 		s.targStamp[s.index(reached)] = s.targEpoch - 1
@@ -397,8 +433,9 @@ func (s *Search) heuristic(p geom.Point3) float64 {
 // search runs one multi-source multi-target pass (A* or Dijkstra per the
 // configured algorithm) and returns the cheapest path to whichever target
 // settles first. Targets are the nodes whose targStamp carries the current
-// target epoch.
-func (s *Search) search(sources []geom.Point3) (route.Path, geom.Point3, Stats, error) {
+// target epoch. limit caps this pass's expansions (the net budget minus
+// what earlier passes spent); negative means unlimited.
+func (s *Search) search(sources []geom.Point3, limit int64) (route.Path, geom.Point3, Stats, error) {
 	bumpEpoch(&s.epoch, s.stamp)
 	var st Stats
 	q := &s.q
@@ -431,6 +468,9 @@ func (s *Search) search(sources []geom.Point3) (route.Path, geom.Point3, Stats, 
 		st.Expansions++
 		if s.targStamp[i] == s.targEpoch {
 			return s.reconstruct(i), s.point(i), st, nil
+		}
+		if limit >= 0 && st.Expansions > limit {
+			return route.Path{}, geom.Point3{}, st, &BudgetError{}
 		}
 		s.relaxNeighbors(s.point(i), i, q, &st)
 	}

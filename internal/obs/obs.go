@@ -95,6 +95,18 @@ const (
 	// before/after comparison can come straight from the registry.
 	MMazeExpansionsAStar    = "maze.expansions.astar"
 	MMazeExpansionsDijkstra = "maze.expansions.dijkstra"
+	// MFaultInjected counts synthetic faults fired by the chaos injector.
+	MFaultInjected = "fault.injected"
+	// MFaultRecovered counts contained failures (injections and panics)
+	// that a retry followed.
+	MFaultRecovered = "fault.recovered"
+	// MFaultDegraded counts final contained failures: retry exhaustion,
+	// kernel fallbacks and budget trips. For injection-only fault sources
+	// injected == recovered + degraded exactly (see package fault).
+	MFaultDegraded = "fault.degraded"
+	// MFaultRetries counts work-unit re-executions after a contained
+	// failure.
+	MFaultRetries = "fault.retries"
 )
 
 // Pow2Buckets returns n histogram upper bounds lo, 2lo, 4lo, ...: the

@@ -1,0 +1,110 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fastgr/internal/fault"
+	"fastgr/internal/obs"
+)
+
+func TestForUnitsUncontainedRunsAndCollectsErrors(t *testing.T) {
+	p := NewPool(4)
+	results := make([]int, 100)
+	errs := p.ForUnits(fault.SiteTask, 100, func(_, i int) error {
+		results[i] = i * i
+		if i%10 == 3 {
+			return fmt.Errorf("unit %d says no", i)
+		}
+		return nil
+	})
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("unit %d did not run", i)
+		}
+	}
+	if len(errs) != 10 {
+		t.Fatalf("want 10 collected errors, got %d", len(errs))
+	}
+	for k, we := range errs {
+		wantUnit := k*10 + 3
+		if we.Unit != wantUnit || we.Contained || we.Attempts != 1 {
+			t.Fatalf("errs[%d] = %+v, want uncontained unit %d", k, we, wantUnit)
+		}
+	}
+}
+
+func TestForUnitsNilOnSuccess(t *testing.T) {
+	p := NewPool(3)
+	if errs := p.ForUnits(fault.SitePlan, 50, func(_, _ int) error { return nil }); errs != nil {
+		t.Fatalf("want nil error slice, got %v", errs)
+	}
+}
+
+func TestForUnitsContainsPanicsAndInjections(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := fault.New(fault.Options{Seed: 3, Probs: map[string]float64{fault.SiteTask: 0.2}},
+		&obs.Observer{Metrics: reg})
+	p := NewPool(4)
+	p.SetFault(c)
+	ran := make([]bool, 200)
+	errs := p.ForUnits(fault.SiteTask, 200, func(_, i int) error {
+		ran[i] = true
+		if i == 77 {
+			panic("unit 77 explodes")
+		}
+		return nil
+	})
+	// Unit 77 must surface as a contained WorkError wrapping the panic,
+	// not crash the process. Injection exhaustion may add more failures.
+	var found *fault.WorkError
+	for _, we := range errs {
+		if !we.Contained {
+			t.Fatalf("all failures here are containment-origin, got %+v", we)
+		}
+		if we.Unit == 77 {
+			found = we
+		}
+	}
+	if found == nil {
+		// 77 survived only if an injection never fired on its panicking
+		// attempts... it panics every attempt, so it must be in errs.
+		t.Fatal("panicking unit 77 missing from collected errors")
+	}
+	var pe *fault.PanicError
+	if !errors.As(found, &pe) && !errors.Is(found, fault.ErrInjected) {
+		t.Fatalf("unit 77 cause should be a panic or injection, got %v", found.Cause)
+	}
+	s := reg.Snapshot()
+	inj := s.Counters[obs.MFaultInjected]
+	if inj == 0 {
+		t.Fatal("probability-0.2 injection never fired over 200 units")
+	}
+}
+
+func TestForUnitsFailureSetIdenticalAcrossWorkerCounts(t *testing.T) {
+	shape := func(workers int) [][3]interface{} {
+		reg := obs.NewRegistry()
+		c := fault.New(fault.Options{Seed: 11, Probs: map[string]float64{fault.SiteScan: 0.15}},
+			&obs.Observer{Metrics: reg})
+		p := NewPool(workers)
+		p.SetFault(c)
+		errs := p.ForUnits(fault.SiteScan, 300, func(_, _ int) error { return nil })
+		out := make([][3]interface{}, len(errs))
+		for i, we := range errs {
+			out[i] = [3]interface{}{we.Site, we.Unit, we.Error()}
+		}
+		return out
+	}
+	ref := shape(1)
+	if len(ref) == 0 {
+		t.Fatal("expected some exhausted units at p=0.15 over 300 units")
+	}
+	for _, w := range []int{2, 8} {
+		if got := shape(w); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("failure set at %d workers differs from 1 worker:\n%v\nvs\n%v", w, got, ref)
+		}
+	}
+}

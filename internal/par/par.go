@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fastgr/internal/fault"
 	"fastgr/internal/obs"
 )
 
@@ -33,6 +34,11 @@ type Pool struct {
 	tr   *obs.Tracer
 	wait *obs.Histogram
 	run  *obs.Histogram
+
+	// fc is the fault-containment layer ForUnits bodies run under; nil
+	// (the default) is the uncontained mode, where ForUnits calls bodies
+	// directly.
+	fc *fault.Containment
 }
 
 // NewPool returns a pool of at least one worker.
@@ -130,6 +136,48 @@ func (p *Pool) For(n int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// SetFault attaches (or, with nil, detaches) the fault-containment
+// layer for subsequent ForUnits calls. Call before sharing the pool
+// across goroutines.
+func (p *Pool) SetFault(c *fault.Containment) { p.fc = c }
+
+// ForUnits is For for fallible work units: fn(worker, i) runs for every
+// i in [0, n) under the pool's containment layer (when armed), so a
+// panicking or injected-faulty unit is retried and, on exhaustion,
+// collected instead of crashing the process. The returned slice holds
+// the terminal failures sorted by unit index — nil when every unit
+// succeeded — so callers observe an identical failure set at every
+// worker count. A unit body returning its own error is collected
+// un-contained without retry; the unit index, never the chunk layout,
+// keys the injection decision.
+func (p *Pool) ForUnits(site string, n int, fn func(worker, i int) error) []*fault.WorkError {
+	var mu sync.Mutex
+	var errs []*fault.WorkError
+	p.For(n, func(worker, i int) {
+		var err error
+		if p.fc.Enabled() {
+			err = p.fc.Run(site, i, worker, func() error { return fn(worker, i) })
+		} else {
+			err = fn(worker, i)
+		}
+		if err == nil {
+			return
+		}
+		we, ok := err.(*fault.WorkError)
+		if !ok {
+			we = &fault.WorkError{Site: site, Unit: i, Attempts: 1, Cause: err}
+		}
+		mu.Lock()
+		errs = append(errs, we)
+		mu.Unlock()
+	})
+	if len(errs) == 0 {
+		return nil
+	}
+	fault.SortWorkErrors(errs)
+	return errs
 }
 
 // For is the one-shot convenience: NewPool(workers).For(n, fn).

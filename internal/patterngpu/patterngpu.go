@@ -15,6 +15,7 @@ import (
 	"math/bits"
 	"time"
 
+	"fastgr/internal/fault"
 	"fastgr/internal/gpu"
 	"fastgr/internal/grid"
 	"fastgr/internal/obs"
@@ -39,6 +40,18 @@ type Router struct {
 	// of RouteBatch is a handful of nil checks; RouteBatchBaseline below
 	// is the frozen uninstrumented twin that proves it.
 	Obs *obs.Observer
+	// Fault, when armed, contains per-net solve panics (retried) and
+	// whole-kernel failures: a batch whose kernel fails degrades to the
+	// CPU baseline path (sequential SolveCPU + CPUModel time) instead of
+	// crashing. nil is the uncontained PR 4 behavior.
+	Fault *fault.Containment
+	// CPU supplies the modeled sequential time a degraded batch reports;
+	// only read on the fallback path.
+	CPU gpu.CPUModel
+
+	// batches counts RouteBatch calls: the batch ordinal is the kernel
+	// site's injection unit, a worker-count-invariant identity.
+	batches int
 }
 
 // New builds a Router with the given device spec and pattern configuration.
@@ -54,14 +67,35 @@ type BatchResult struct {
 	// SeqOps is the total DP work, the currency for the sequential-CPU
 	// comparison (Table VIII's 9.324x).
 	SeqOps int64
+	// CPUFallback marks a batch whose kernel failed and was re-solved on
+	// the CPU baseline path: Results and SeqOps are bit-identical to the
+	// kernel's (same flow evaluation code), only KernelTime degrades to
+	// the modeled sequential CPU time.
+	CPUFallback bool
 }
 
 // RouteBatch routes one conflict-free batch of nets as a single kernel. The
 // grid is only read; the caller commits the returned routes (the batch is
 // conflict-free, so intra-batch ordering cannot change results).
 func (r *Router) RouteBatch(g *grid.Graph, trees []*stt.Tree) BatchResult {
+	ord := r.batches
+	r.batches++
 	sp := r.Obs.T().StartSpan("gpu.batch", obs.Coordinator)
-	br := r.routeBatch(g, trees)
+	var br BatchResult
+	if r.Fault.Enabled() {
+		err := r.Fault.RunOnce(fault.SiteKernel, ord, obs.Coordinator, func() error {
+			var solveErr error
+			br, solveErr = r.routeBatchContained(g, trees)
+			return solveErr
+		})
+		if err != nil {
+			// Kernel failed (injected, panicked, or a net's solve exhausted
+			// containment): degrade the whole batch to the CPU baseline.
+			br = r.routeBatchCPU(g, trees)
+		}
+	} else {
+		br = r.routeBatch(g, trees)
+	}
 	sp.End()
 	if m := r.Obs.M(); m != nil {
 		m.Histogram(obs.MKernelNs, obs.DurationBuckets).Observe(br.KernelTime.Nanoseconds())
@@ -114,6 +148,57 @@ func (r *Router) routeBatch(g *grid.Graph, trees []*stt.Tree) BatchResult {
 		bytesOut += int64(len(res.EdgeFlows)) * int64(g.L) * 8
 	}
 	br.KernelTime = r.Dev.LaunchKernel(blocks, bytesIn, bytesOut)
+	return br
+}
+
+// routeBatchContained is routeBatch with the solve fan-out running under
+// the fault layer: a panicking or injection-hit net is retried on its
+// own, and a net that exhausts containment fails the whole kernel (the
+// caller then degrades the batch to the CPU path). The net's batch-local
+// index is the injection unit — stable across worker counts.
+func (r *Router) routeBatchContained(g *grid.Graph, trees []*stt.Tree) (BatchResult, error) {
+	g.WarmCostCache()
+	br := BatchResult{Results: make([]pattern.Result, len(trees))}
+	blocks := make([]gpu.Block, len(trees))
+
+	p := par.NewPool(r.Workers)
+	p.SetFault(r.Fault)
+	errs := p.ForUnits(fault.SiteSolve, len(trees), func(_, i int) error {
+		rec := &recorder{}
+		res := pattern.Solve(g, trees[i], r.Cfg, rec)
+		br.Results[i] = res
+		blocks[i] = gpu.Block{Ops: res.Ops.Total() + rec.evalOps, Span: blockSpan(g.L, res)}
+		return nil
+	})
+	if len(errs) > 0 {
+		return BatchResult{}, errs[0]
+	}
+
+	var bytesIn, bytesOut int64
+	for i, res := range br.Results {
+		br.SeqOps += blocks[i].Ops
+		bytesIn += flowBytes(g.L, res)
+		bytesOut += int64(len(res.EdgeFlows)) * int64(g.L) * 8
+	}
+	br.KernelTime = r.Dev.LaunchKernel(blocks, bytesIn, bytesOut)
+	return br, nil
+}
+
+// routeBatchCPU is the graceful-degradation path: the same per-net flow
+// evaluation the kernel runs, executed sequentially on the host, so
+// Results and SeqOps stay bit-identical to the kernel's; only the batch
+// is billed at the modeled sequential CPU time instead of the device
+// time.
+func (r *Router) routeBatchCPU(g *grid.Graph, trees []*stt.Tree) BatchResult {
+	g.WarmCostCache()
+	br := BatchResult{Results: make([]pattern.Result, len(trees)), CPUFallback: true}
+	for i, tree := range trees {
+		rec := &recorder{}
+		res := pattern.Solve(g, tree, r.Cfg, rec)
+		br.Results[i] = res
+		br.SeqOps += res.Ops.Total() + rec.evalOps
+	}
+	br.KernelTime = r.CPU.SequentialTime(br.SeqOps)
 	return br
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"fastgr/internal/fault"
 	"fastgr/internal/obs"
 	"fastgr/internal/sched"
 )
@@ -107,6 +108,196 @@ func RunWorkersObserved(g *sched.Graph, workers int, o *obs.Observer, fn func(wo
 		panic("taskflow: executor deadlocked (cyclic graph?)")
 	}
 }
+
+// FaultReport is the partial-failure outcome of RunWorkersFault: which
+// tasks completed, which failed terminally, and which were skipped
+// because a dependency failed. Failed, Skipped and Errs are sorted by
+// task id, so the report is identical at every worker count (the
+// skipped set is a pure function of the failed set and the graph).
+type FaultReport struct {
+	// Completed counts tasks whose body returned nil.
+	Completed int
+	// Failed lists tasks whose body ended in a *fault.WorkError
+	// (containment exhaustion or a deliberate unit failure).
+	Failed []int
+	// Skipped lists tasks never run because a transitive predecessor
+	// failed (or, on the cancel path, tasks abandoned mid-run).
+	Skipped []int
+	// Errs holds the terminal error of each failed task, parallel to
+	// Failed.
+	Errs []*fault.WorkError
+	// CancelErr is the first (lowest task id) non-WorkError a body
+	// returned; non-nil means the run was aborted, remaining tasks were
+	// drained unrun, and the rest of the report describes a partial,
+	// timing-dependent state the caller must discard.
+	CancelErr error
+}
+
+// Failure returns the lowest-task-id terminal error, nil when every
+// scheduled task completed.
+func (r *FaultReport) Failure() *fault.WorkError {
+	if len(r.Errs) == 0 {
+		return nil
+	}
+	return r.Errs[0]
+}
+
+// RunWorkersFault is RunWorkersObserved for fallible tasks: each body
+// runs under the containment layer (when armed), a task's terminal
+// *fault.WorkError poisons its dependents — they are skipped, never
+// run — and the run still settles every task, so a failing graph
+// completes with a partial-failure report instead of wedging the
+// executor. Any other body error cancels the run: remaining ready tasks
+// drain unrun and CancelErr reports the cause. Task ids, not goroutine
+// interleavings, key injection and ordering, so for a fixed fault seed
+// the Completed/Failed/Skipped partition is identical at every worker
+// count (except after a cancel, which is an abort path).
+func RunWorkersFault(g *sched.Graph, workers int, o *obs.Observer, c *fault.Containment, fn func(worker, task int) error) FaultReport {
+	var rep FaultReport
+	n := len(g.Tasks)
+	if n == 0 {
+		return rep
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	waitHist := o.M().Histogram(obs.MTaskWaitNs, obs.DurationBuckets)
+	runHist := o.M().Histogram(obs.MTaskRunNs, obs.DurationBuckets)
+	observing := waitHist != nil
+	var readyAt []obs.Stopwatch
+	if observing {
+		readyAt = make([]obs.Stopwatch, n)
+	}
+
+	indeg := append([]int(nil), g.Indegree...)
+	poisoned := make([]bool, n)
+	ready := make(chan int, n)
+
+	var mu sync.Mutex
+	done := 0
+	canceled := false
+
+	// settleLocked finishes task t (mu held): it counts toward done,
+	// poisons dependents when it did not succeed, and either enqueues or
+	// cascades-skips each dependent that becomes ready. The cascade is
+	// iterative (an explicit stack) so a long poisoned chain cannot
+	// overflow the goroutine stack, and skipping happens here — under the
+	// settle lock, in dependency order — so the skipped set never depends
+	// on which worker observed the failure.
+	var stack []int
+	settleLocked := func(t int, ok bool) {
+		stack = append(stack[:0], t)
+		okAt := map[int]bool{t: ok}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			done++
+			if done == n {
+				close(ready)
+			}
+			for _, v := range g.Succ[u] {
+				if !okAt[u] {
+					poisoned[v] = true
+				}
+				indeg[v]--
+				if indeg[v] != 0 {
+					continue
+				}
+				if poisoned[v] || canceled {
+					rep.Skipped = append(rep.Skipped, v)
+					okAt[v] = false
+					stack = append(stack, v)
+					continue
+				}
+				if observing {
+					readyAt[v] = obs.StartStopwatch()
+				}
+				ready <- v
+			}
+		}
+	}
+
+	for i, d := range indeg {
+		if d == 0 {
+			if observing {
+				readyAt[i] = obs.StartStopwatch()
+			}
+			ready <- i
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for t := range ready {
+				mu.Lock()
+				drain := canceled
+				mu.Unlock()
+				var err error
+				if drain {
+					// Abort path: don't run, just settle so the run ends.
+				} else if c.Enabled() {
+					err = c.Run(fault.SiteTask, t, worker, func() error { return fn(worker, t) })
+				} else {
+					var run obs.Stopwatch
+					if observing {
+						waitHist.Observe(readyAt[t].ElapsedNs())
+						run = obs.StartStopwatch()
+					}
+					err = fn(worker, t)
+					if observing {
+						runHist.Observe(run.ElapsedNs())
+					}
+				}
+				mu.Lock()
+				switch we := err.(type) {
+				case nil:
+					if drain {
+						rep.Skipped = append(rep.Skipped, t)
+						settleLocked(t, false)
+					} else {
+						rep.Completed++
+						settleLocked(t, true)
+					}
+				case *fault.WorkError:
+					rep.Failed = append(rep.Failed, t)
+					rep.Errs = append(rep.Errs, we)
+					settleLocked(t, false)
+				default:
+					if !canceled {
+						canceled = true
+						rep.CancelErr = err
+					}
+					rep.Skipped = append(rep.Skipped, t)
+					settleLocked(t, false)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if done != n {
+		panic("taskflow: executor deadlocked (cyclic graph?)")
+	}
+
+	sortInts(rep.Failed)
+	sortInts(rep.Skipped)
+	sortErrs(rep.Errs)
+	return rep
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortErrs(errs []*fault.WorkError) { fault.SortWorkErrors(errs) }
 
 // Makespan simulates critical-path-first list scheduling of the task graph
 // on P workers with the given per-task durations: a task becomes ready when

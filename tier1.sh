@@ -5,22 +5,28 @@
 #   build      — everything compiles
 #   test       — the full test suite (includes TestLintTreeClean and the
 #                ExecWorkers determinism sweeps)
-#   race       — the race detector over every package that executes
-#                host-parallel: the par pool itself, core's tracing-enabled
-#                determinism suite, the taskflow executor, the concurrent
-#                obs recorders, sched + maze, which run under the pool
-#                from core's parallel sections, and grid, whose cost-cache
-#                invalidation flags are mutated from concurrent rip-up
-#                windows
-#   lint       — fastgrlint, the static invariant net (determinism +
-#                passive observability contracts), gofmt verification on
-#   bench-obs  — observability overhead guard: benchgen -obs fails if the
-#                disabled-mode cost on the pattern-stage batch workload
-#                exceeds 2%
-#   bench-lint — records analyzer cost (files/sec) into BENCH_lint.json
-#   bench-maze — maze kernel guard: benchgen -maze fails unless A* on a
-#                warm cost cache beats the seed Dijkstra-cold config by
-#                1.5x with fewer expansions
+#   race        — the race detector over every package that executes
+#                 host-parallel: the par pool itself, core's tracing-enabled
+#                 determinism suite AND its seeded chaos suite (every variant
+#                 under fault injection at 1/2/8 workers), the taskflow
+#                 executor, the concurrent obs recorders, sched + maze, which
+#                 run under the pool from core's parallel sections, grid,
+#                 whose cost-cache invalidation flags are mutated from
+#                 concurrent rip-up windows, and fault, the containment
+#                 layer whose counters are hit from every worker
+#   lint        — fastgrlint, the static invariant net (determinism +
+#                 passive observability + recover-hygiene contracts), gofmt
+#                 verification on
+#   bench-obs   — observability overhead guard: benchgen -obs fails if the
+#                 disabled-mode cost on the pattern-stage batch workload
+#                 exceeds 2%
+#   bench-lint  — records analyzer cost (files/sec) into BENCH_lint.json
+#   bench-maze  — maze kernel guard: benchgen -maze fails unless A* on a
+#                 warm cost cache beats the seed Dijkstra-cold config by
+#                 1.5x with fewer expansions
+#   bench-fault — fault containment overhead guard: benchgen -fault fails
+#                 if arming the layer with injection disabled costs more
+#                 than 2% on the pattern or maze workloads
 #
 # Every step runs even after a failure, and the trailer prints one
 # PASS/FAIL line per step so a red build is attributable at a glance.
@@ -46,11 +52,12 @@ $name: FAIL"
 step vet        go vet -tests=true ./...
 step build      go build ./...
 step test       go test ./...
-step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze ./internal/grid
+step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze ./internal/grid ./internal/fault
 step lint       go run ./cmd/fastgrlint -fmt ./...
 step bench-obs  go run ./cmd/benchgen -obs -o BENCH_obs.json
 step bench-lint go run ./cmd/benchgen -lint -o BENCH_lint.json
 step bench-maze go run ./cmd/benchgen -maze -o BENCH_maze.json
+step bench-fault go run ./cmd/benchgen -fault -o BENCH_fault.json
 
 echo "== tier1 summary ==$summary"
 exit $fail
