@@ -13,6 +13,7 @@
 //	benchgen -lint -o BENCH_lint.json
 //	benchgen -maze -o BENCH_maze.json
 //	benchgen -fault -o BENCH_fault.json
+//	benchgen -shard -o BENCH_shard.json
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		lintFlag = flag.Bool("lint", false, "measure the fastgrlint suite over the whole module and emit JSON (files/sec, findings)")
 		mazeFlag = flag.Bool("maze", false, "measure the maze kernel (dijkstra/astar x cold/warm cost cache) and emit JSON (fails if astar+warm misses the speedup gate)")
 		faultBmk = flag.Bool("fault", false, "measure the fault containment layer's disabled-injection overhead and emit JSON (fails past the budget)")
+		shardBmk = flag.Bool("shard", false, "sweep sharded vs monolithic routing and emit JSON (fails if K=4 misses the peak-heap reduction or quality-parity gates)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,10 @@ func main() {
 		}
 	case *faultBmk:
 		if err := runFault(*out); err != nil {
+			fatal(err)
+		}
+	case *shardBmk:
+		if err := runShard(*out); err != nil {
 			fatal(err)
 		}
 	case *list:

@@ -45,6 +45,7 @@ func main() {
 		guides     = flag.String("guides", "", "write routing guides to this file")
 		evalDR     = flag.Bool("dr", false, "evaluate the solution with the detailed-routing track assigner")
 		workers    = flag.Int("exec-workers", 0, "host worker goroutines executing the router (0 = library default); never changes the reported result")
+		shards     = flag.Int("shards", 0, "spatial shard count: route leaf regions concurrently against windowed cost caches (0 = monolithic pipeline; any count >= 1 yields identical output)")
 		mazeAlg    = flag.String("maze-alg", "astar", "maze search algorithm: astar | dijkstra (identical geometry, different expansion counts)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event timeline to this file (open at ui.perfetto.dev)")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry and report as JSON to this file")
@@ -54,6 +55,16 @@ func main() {
 		mazeBudget = flag.Int64("maze-budget", 0, "per-net maze expansion budget; over-budget nets keep their pattern route (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if *inFile == "" && (*scale <= 0 || *scale > 1) {
+		fatal(fmt.Errorf("-scale %v outside (0,1] — benchmarks are generated at a fraction of full size", *scale))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-exec-workers %d is negative (use 0 for the library default)", *workers))
+	}
+	if *shards < 0 || *shards > 4096 {
+		fatal(fmt.Errorf("-shards %d outside [0, 4096] (0 = monolithic pipeline)", *shards))
+	}
 
 	d, err := loadDesign(*inFile, *designName, *scale)
 	if err != nil {
@@ -70,6 +81,7 @@ func main() {
 	if *workers > 0 {
 		opt.ExecWorkers = *workers
 	}
+	opt.Shards = *shards
 	if s, ok := parseScheme(*scheme); ok {
 		opt.Scheme = s
 	} else {
@@ -216,6 +228,11 @@ func printReport(res *core.Result) {
 		r.Times.PlanWall, r.Times.PatternWall, r.Times.MazeWall, r.Times.WallTotal)
 	fmt.Printf("stages   batches=%d nets-to-ripup=%d hybrid-edges=%d/%d pattern-score=%.1f\n",
 		r.PatternBatches, r.NetsToRipup, r.HybridEdges, r.TotalEdges, r.PatternScore)
+	fmt.Printf("heap     peak=%.1f MiB\n", float64(r.PeakHeapBytes)/(1<<20))
+	if r.Shards > 0 {
+		fmt.Printf("shards   k=%d leaves=%d boundary-nets=%d reroutes=%d reconcile=%v\n",
+			r.Shards, r.ShardLeaves, r.BoundaryNets, r.BoundaryReroutes, r.ReconcileTime)
+	}
 	if r.Fault != (core.FaultStats{}) {
 		fmt.Printf("fault    failed-nets=%d skipped-nets=%d kernel-fallbacks=%d budget-fallbacks=%d\n",
 			r.Fault.FailedNets, r.Fault.SkippedNets, r.Fault.KernelFallbacks, r.Fault.BudgetFallbacks)

@@ -76,13 +76,14 @@ func TestChaosContainment(t *testing.T) {
 						continue
 					}
 					// The full Report — quality, modeled times, fault stats —
-					// must be bit-identical across worker counts, wall-clock
-					// fields aside.
+					// must be bit-identical across worker counts, host
+					// measurements (wall clocks, heap high-water) aside.
 					a, b := ref.rep, o.rep
 					a.Times.PlanWall, b.Times.PlanWall = 0, 0
 					a.Times.PatternWall, b.Times.PatternWall = 0, 0
 					a.Times.MazeWall, b.Times.MazeWall = 0, 0
 					a.Times.WallTotal, b.Times.WallTotal = 0, 0
+					a.PeakHeapBytes, b.PeakHeapBytes = 0, 0
 					if !reflect.DeepEqual(a, b) {
 						t.Fatalf("report differs between 1 and %d workers under chaos:\n%+v\nvs\n%+v",
 							workers, a, b)
@@ -134,6 +135,7 @@ func TestChaosZeroProbabilityByteIdentical(t *testing.T) {
 		a.Times.PatternWall, b.Times.PatternWall = 0, 0
 		a.Times.MazeWall, b.Times.MazeWall = 0, 0
 		a.Times.WallTotal, b.Times.WallTotal = 0, 0
+		a.PeakHeapBytes, b.PeakHeapBytes = 0, 0
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%v: zero-probability armed report differs from unarmed:\n%+v\nvs\n%+v", v, a, b)
 		}
@@ -217,6 +219,7 @@ func TestMazeBudgetFallbackKeepsPatternRoute(t *testing.T) {
 	a.Times.PatternWall, b.Times.PatternWall = 0, 0
 	a.Times.MazeWall, b.Times.MazeWall = 0, 0
 	a.Times.WallTotal, b.Times.WallTotal = 0, 0
+	a.PeakHeapBytes, b.PeakHeapBytes = 0, 0
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("budgeted report differs across worker counts:\n%+v\nvs\n%+v", a, b)
 	}

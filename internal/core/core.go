@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"fastgr/internal/design"
@@ -34,6 +35,7 @@ import (
 	"fastgr/internal/patterngpu"
 	"fastgr/internal/route"
 	"fastgr/internal/sched"
+	"fastgr/internal/shard"
 	"fastgr/internal/stt"
 	"fastgr/internal/taskflow"
 )
@@ -132,6 +134,22 @@ type Options struct {
 	// a net that exceeds it keeps its pattern route (recorded as a budget
 	// fallback). 0 is unlimited. Works with or without Fault.
 	MazeBudget int64
+	// Shards selects the sharded spatial pipeline (internal/shard): the
+	// grid is bisected into leaf regions on pin density, intra-leaf nets
+	// route against leaf-windowed cost caches with up to Shards leaf
+	// groups running concurrently, and boundary nets are split at the
+	// cuts, stitched, and reconciled at coordinator points. Routed output
+	// is bit-identical for every Shards >= 1 (the cut tree never depends
+	// on the count); 0, the default, is the monolithic pipeline,
+	// bit-identical to builds predating sharding. Sharded and monolithic
+	// outputs may differ: the monolithic pattern stage reads segment
+	// costs through full-grid prefix sums, whose rounding a windowed
+	// cache deliberately avoids.
+	Shards int
+	// HeapGC forces a garbage collection before each peak-heap sample so
+	// PeakHeapBytes measures live bytes, not allocator slack. Benchmarks
+	// set it; it changes no routed result, only wall-clock.
+	HeapGC bool
 }
 
 // FaultStats aggregates the containment outcomes of one run. The counts
@@ -247,6 +265,26 @@ type Report struct {
 	// Fault aggregates containment outcomes across the run; all zero in
 	// an unfaulted, unbudgeted run.
 	Fault FaultStats
+
+	// Sharded-pipeline accounting; all zero when Shards == 0.
+	Shards      int // Options.Shards as run
+	ShardLeaves int // leaf regions in the cut tree
+	// BoundaryNets counts nets whose Steiner tree straddles a cut and was
+	// split into per-leaf fragments.
+	BoundaryNets int
+	// BoundaryReroutes counts boundary nets rerouted whole by the
+	// reconciliation pass after stitching left them overflowed.
+	BoundaryReroutes int
+	// ReconcileTime is the modeled cost of those reconciliation searches
+	// (expansions x MazeNsPerExpansion); it is included in Times.Maze.
+	ReconcileTime time.Duration
+
+	// PeakHeapBytes is the high-water HeapAlloc observed at stage
+	// boundaries (after planning, after the pattern stage, after each
+	// rip-up iteration, at finish). A host measurement like the *Wall
+	// fields: it varies run to run and is excluded from the
+	// bit-identical Report contract.
+	PeakHeapBytes uint64
 }
 
 // Result bundles the report with the routed state for downstream consumers
@@ -264,7 +302,7 @@ func Route(d *design.Design, opt Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	if opt.RRRIters < 0 || opt.Workers < 0 {
+	if opt.RRRIters < 0 || opt.Workers < 0 || opt.Shards < 0 {
 		return nil, fmt.Errorf("core: negative option")
 	}
 	r := &runner{d: d, opt: opt}
@@ -281,6 +319,11 @@ type runner struct {
 	trees  []*stt.Tree
 	routes []*route.NetRoute
 	rep    Report
+
+	// Sharded-pipeline state (see shardpipe.go); nil/empty when Shards == 0.
+	shplan    *shard.Plan
+	intraLeaf []int          // by net ID: containing leaf ordinal, -1 for boundary nets
+	splits    []*shard.Split // by net ID: fragment decomposition of boundary nets
 }
 
 func (r *runner) run() (*Result, error) {
@@ -298,10 +341,24 @@ func (r *runner) run() (*Result, error) {
 	if err := r.plan(); err != nil {
 		return nil, err
 	}
-	r.patternStage()
-	if err := r.rrrStage(); err != nil {
-		return nil, err
+	r.sampleHeap()
+	if r.opt.Shards >= 1 {
+		r.shardSetup()
+		if err := r.shardPatternStage(); err != nil {
+			return nil, err
+		}
+		r.sampleHeap()
+		if err := r.shardRRRStage(); err != nil {
+			return nil, err
+		}
+	} else {
+		r.patternStage()
+		r.sampleHeap()
+		if err := r.rrrStage(); err != nil {
+			return nil, err
+		}
 	}
+	r.sampleHeap()
 	r.finish()
 
 	return &Result{
@@ -311,6 +368,21 @@ func (r *runner) run() (*Result, error) {
 		Trees:  r.trees,
 		Routes: r.routes,
 	}, nil
+}
+
+// sampleHeap folds the current heap high-water into the report. Called at
+// stage boundaries only — never inside parallel sections — so the memory
+// claim is measured where a budget-constrained host would feel it. With
+// HeapGC it reads live bytes; without, allocator-resident bytes.
+func (r *runner) sampleHeap() {
+	if r.opt.HeapGC {
+		runtime.GC()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > r.rep.PeakHeapBytes {
+		r.rep.PeakHeapBytes = ms.HeapAlloc
+	}
 }
 
 // plan builds and congestion-shifts the Steiner tree of every net (the
@@ -366,22 +438,7 @@ func (r *runner) patternStage() {
 	sched.ObserveBatches(r.opt.Obs.M(), batches)
 	r.rep.PatternBatches = len(batches)
 
-	cfg := pattern.Config{Mode: pattern.LShape}
-	if r.opt.Variant == FastGRH {
-		cfg = pattern.Config{
-			Mode:      pattern.Hybrid,
-			Selection: !r.opt.SelectionOff,
-			T1:        r.opt.T1,
-			T2:        r.opt.T2,
-		}
-	}
-	if r.opt.PatternModeOverride != nil {
-		cfg.Mode = *r.opt.PatternModeOverride
-		if cfg.Mode != pattern.LShape {
-			cfg.Selection = !r.opt.SelectionOff
-			cfg.T1, cfg.T2 = r.opt.T1, r.opt.T2
-		}
-	}
+	cfg := r.patternConfig()
 
 	switch r.opt.Variant {
 	case CUGR:
@@ -447,6 +504,28 @@ func (r *runner) patternStage() {
 	r.rep.PatternQuality = r.snapshotQuality()
 	r.rep.PatternScore = r.rep.PatternQuality.Score()
 	r.rep.Times.PatternWall = start.Elapsed()
+}
+
+// patternConfig resolves the variant's pattern kernel configuration —
+// shared by the monolithic and sharded pattern stages.
+func (r *runner) patternConfig() pattern.Config {
+	cfg := pattern.Config{Mode: pattern.LShape}
+	if r.opt.Variant == FastGRH {
+		cfg = pattern.Config{
+			Mode:      pattern.Hybrid,
+			Selection: !r.opt.SelectionOff,
+			T1:        r.opt.T1,
+			T2:        r.opt.T2,
+		}
+	}
+	if r.opt.PatternModeOverride != nil {
+		cfg.Mode = *r.opt.PatternModeOverride
+		if cfg.Mode != pattern.LShape {
+			cfg.Selection = !r.opt.SelectionOff
+			cfg.T1, cfg.T2 = r.opt.T1, r.opt.T2
+		}
+	}
+	return cfg
 }
 
 // batchSpan opens a per-batch span on the stages lane; the formatting
@@ -659,6 +738,7 @@ func (r *runner) rrrStage() error {
 			}
 			r.g.BumpOverflowHistory(bump)
 		}
+		r.sampleHeap()
 		iterSp.End()
 	}
 	r.rep.Times.MazeWall = start.Elapsed()

@@ -147,6 +147,24 @@ func (r Rect) Overlaps(o Rect) bool {
 	return r.Lo.X <= o.Hi.X && o.Lo.X <= r.Hi.X && r.Lo.Y <= o.Hi.Y && o.Lo.Y <= r.Hi.Y
 }
 
+// ContainsRect reports whether o lies entirely inside r — the shard
+// classifier's intra-region test.
+func (r Rect) ContainsRect(o Rect) bool {
+	return r.Lo.X <= o.Lo.X && o.Hi.X <= r.Hi.X && r.Lo.Y <= o.Lo.Y && o.Hi.Y <= r.Hi.Y
+}
+
+// Intersect returns the overlap of two rectangles. When they do not
+// overlap the result is an empty Rect (Lo > Hi on some axis).
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		Lo: Point{Max(r.Lo.X, o.Lo.X), Max(r.Lo.Y, o.Lo.Y)},
+		Hi: Point{Min(r.Hi.X, o.Hi.X), Min(r.Hi.Y, o.Hi.Y)},
+	}
+}
+
+// Empty reports whether the rectangle covers no G-cells.
+func (r Rect) Empty() bool { return r.Lo.X > r.Hi.X || r.Lo.Y > r.Hi.Y }
+
 // Interval is a closed integer interval [Lo, Hi], used for layer ranges in
 // via-stack costing.
 type Interval struct {

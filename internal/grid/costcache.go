@@ -47,11 +47,24 @@ import (
 type costCache struct {
 	built bool
 
-	// Wire side, indexed like wireDem: [l-1][edge].
+	// win bounds the cached region in G-cells; full marks a window covering
+	// the whole grid. Prefix-sum arrays exist only for the full window: a
+	// partial window would accumulate its sums from a different origin than
+	// the full-grid fold, and that float-rounding difference could flip a
+	// pattern-DP tie between window layouts. Windowed caches therefore serve
+	// per-edge values only — each bit-identical to the direct formula — so a
+	// shard view's cache state can change speed but never results.
+	win  geom.Rect
+	full bool
+
+	// Wire side. For the full window, indexed like wireDem: [l-1][edge].
+	// For a partial window, [l-1] holds the window's own row-major edge
+	// block (see ccWireSpan/ccWireLocal).
 	wireVal   [][]float64
 	wireStale [][]bool
 	// wirePfx[l-1] holds lineCount(l) runs of lineLen(l)+1 exclusive
-	// prefix sums; wireDirty[l-1] has one flag per line.
+	// prefix sums (full window only); wireDirty[l-1] has one flag per
+	// window line.
 	wirePfx   [][]float64
 	wireDirty [][]atomic.Uint32
 
@@ -99,6 +112,55 @@ func (g *Graph) lineCount(l int) int {
 	return g.W
 }
 
+// fullRect is the window covering every G-cell of the grid.
+func (g *Graph) fullRect() geom.Rect {
+	return geom.Rect{Hi: geom.Point{X: g.W - 1, Y: g.H - 1}}
+}
+
+// CostCacheWindow returns the region the cost cache covers.
+func (g *Graph) CostCacheWindow() geom.Rect { return g.cc.win }
+
+// ccWireSpan returns the cache-window geometry of layer l's wire edges:
+// the number of cached edges per routing line and the number of window
+// lines. An edge is cached when its starting cell lies in the window, so a
+// window flush against the grid's far side has one fewer edge per line.
+func (g *Graph) ccWireSpan(l int) (lineLen, lines int) {
+	win := g.cc.win
+	if g.Dir(l) == Horizontal {
+		return geom.Min(win.Hi.X, g.W-2) - win.Lo.X + 1, win.Hi.Y - win.Lo.Y + 1
+	}
+	return geom.Min(win.Hi.Y, g.H-2) - win.Lo.Y + 1, win.Hi.X - win.Lo.X + 1
+}
+
+// ccWireLocal maps wire edge (x, y) of layer l to its window-local slot and
+// line; ok is false when the edge lies outside the cache window. For the
+// full window the local slot equals the global wireIndex.
+func (g *Graph) ccWireLocal(l, x, y int) (idx, line int, ok bool) {
+	win := g.cc.win
+	lineLen, lines := g.ccWireSpan(l)
+	var off int
+	if g.Dir(l) == Horizontal {
+		off, line = x-win.Lo.X, y-win.Lo.Y
+	} else {
+		off, line = y-win.Lo.Y, x-win.Lo.X
+	}
+	if off < 0 || off >= lineLen || line < 0 || line >= lines {
+		return 0, 0, false
+	}
+	return line*lineLen + off, line, true
+}
+
+// ccViaLocal maps G-cell (x, y) to its window-local via slot; ok is false
+// outside the window. For the full window the slot equals y*W+x.
+func (g *Graph) ccViaLocal(x, y int) (int, bool) {
+	win := g.cc.win
+	lx, ly := x-win.Lo.X, y-win.Lo.Y
+	if lx < 0 || ly < 0 || x > win.Hi.X || y > win.Hi.Y {
+		return 0, false
+	}
+	return ly*win.Width() + lx, true
+}
+
 // wireCostAt is the direct cost formula for wire edge i of layer l — the
 // single source of truth both the fallback path and the warmer evaluate.
 func (g *Graph) wireCostAt(l, i int) float64 {
@@ -122,25 +184,52 @@ func (g *Graph) viaCostAt(l, i int) float64 {
 
 // noteWireMutation invalidates the cached cost of one wire edge: the
 // caller owns the edge (demand writes already require that), the line flag
-// is shared across windows and therefore atomic.
+// is shared across windows and therefore atomic. i is the global edge
+// index; a windowed cache inverts it to window-local coordinates and
+// ignores mutations it never covered.
 func (g *Graph) noteWireMutation(l, i int) {
 	cc := &g.cc
 	if !cc.built {
 		return
 	}
-	cc.wireStale[l-1][i] = true
-	cc.wireDirty[l-1][i/g.lineLen(l)].Store(1)
+	if cc.full {
+		cc.wireStale[l-1][i] = true
+		cc.wireDirty[l-1][i/g.lineLen(l)].Store(1)
+		cc.invals.Add(1)
+		return
+	}
+	var x, y int
+	if g.Dir(l) == Horizontal {
+		y, x = i/(g.W-1), i%(g.W-1)
+	} else {
+		x, y = i/(g.H-1), i%(g.H-1)
+	}
+	li, line, ok := g.ccWireLocal(l, x, y)
+	if !ok {
+		return
+	}
+	cc.wireStale[l-1][li] = true
+	cc.wireDirty[l-1][line].Store(1)
 	cc.invals.Add(1)
 }
 
 // noteViaMutation invalidates one via edge and its cell's prefix run.
+// cell is the global y*W+x index; windowed caches translate it like
+// noteWireMutation does.
 func (g *Graph) noteViaMutation(l, cell int) {
 	cc := &g.cc
 	if !cc.built {
 		return
 	}
-	cc.viaStale[l-1][cell] = true
-	cc.viaDirty[cell].Store(1)
+	ci := cell
+	if !cc.full {
+		var ok bool
+		if ci, ok = g.ccViaLocal(cell%g.W, cell/g.W); !ok {
+			return
+		}
+	}
+	cc.viaStale[l-1][ci] = true
+	cc.viaDirty[ci].Store(1)
 	cc.invals.Add(1)
 }
 
@@ -154,27 +243,35 @@ func (g *Graph) WarmCostCache() {
 	if !cc.built {
 		cc.wireVal = make([][]float64, g.L)
 		cc.wireStale = make([][]bool, g.L)
-		cc.wirePfx = make([][]float64, g.L)
+		if cc.full {
+			cc.wirePfx = make([][]float64, g.L)
+		}
 		cc.wireDirty = make([][]atomic.Uint32, g.L)
 		for l := 1; l <= g.L; l++ {
-			n := g.numWireEdges(l)
-			lines := g.lineCount(l)
-			cc.wireVal[l-1] = make([]float64, n)
-			cc.wireStale[l-1] = make([]bool, n)
-			cc.wirePfx[l-1] = make([]float64, lines*(g.lineLen(l)+1))
+			ll, lines := g.ccWireSpan(l)
+			if ll < 0 {
+				ll = 0
+			}
+			cc.wireVal[l-1] = make([]float64, lines*ll)
+			cc.wireStale[l-1] = make([]bool, lines*ll)
+			if cc.full {
+				cc.wirePfx[l-1] = make([]float64, lines*(ll+1))
+			}
 			cc.wireDirty[l-1] = make([]atomic.Uint32, lines)
 			for li := range cc.wireDirty[l-1] {
 				cc.wireDirty[l-1][li].Store(1)
 			}
 		}
-		cells := g.W * g.H
+		cells := cc.win.Area()
 		cc.viaVal = make([][]float64, g.L-1)
 		cc.viaStale = make([][]bool, g.L-1)
 		for b := 0; b < g.L-1; b++ {
 			cc.viaVal[b] = make([]float64, cells)
 			cc.viaStale[b] = make([]bool, cells)
 		}
-		cc.viaPfx = make([]float64, cells*g.L)
+		if cc.full {
+			cc.viaPfx = make([]float64, cells*g.L)
+		}
 		cc.viaDirty = make([]atomic.Uint32, cells)
 		for i := range cc.viaDirty {
 			cc.viaDirty[i].Store(1)
@@ -184,54 +281,86 @@ func (g *Graph) WarmCostCache() {
 
 	warmed := 0
 	for l := 1; l <= g.L; l++ {
-		ll := g.lineLen(l)
+		ll, lines := g.ccWireSpan(l)
 		if ll <= 0 {
 			continue
 		}
 		val, stale := cc.wireVal[l-1], cc.wireStale[l-1]
-		pfx, dirty := cc.wirePfx[l-1], cc.wireDirty[l-1]
-		for li := 0; li < g.lineCount(l); li++ {
+		dirty := cc.wireDirty[l-1]
+		horiz := g.Dir(l) == Horizontal
+		for li := 0; li < lines; li++ {
 			if dirty[li].Load() == 0 {
 				continue
 			}
-			base, pbase := li*ll, li*(ll+1)
-			sum := 0.0
-			pfx[pbase] = 0
-			for k := 0; k < ll; k++ {
-				c := g.wireCostAt(l, base+k)
-				val[base+k] = c
-				stale[base+k] = false
-				sum += c
-				pfx[pbase+k+1] = sum
+			base := li * ll
+			if cc.full {
+				pfx := cc.wirePfx[l-1]
+				pbase := li * (ll + 1)
+				sum := 0.0
+				pfx[pbase] = 0
+				for k := 0; k < ll; k++ {
+					c := g.wireCostAt(l, base+k)
+					val[base+k] = c
+					stale[base+k] = false
+					sum += c
+					pfx[pbase+k+1] = sum
+				}
+			} else {
+				for k := 0; k < ll; k++ {
+					var x, y int
+					if horiz {
+						x, y = cc.win.Lo.X+k, cc.win.Lo.Y+li
+					} else {
+						x, y = cc.win.Lo.X+li, cc.win.Lo.Y+k
+					}
+					c := g.wireCostAt(l, g.wireIndex(l, x, y))
+					val[base+k] = c
+					stale[base+k] = false
+				}
 			}
 			dirty[li].Store(0)
 			warmed++
 		}
 	}
-	for cell := 0; cell < g.W*g.H; cell++ {
-		if cc.viaDirty[cell].Load() == 0 {
+	cw := cc.win.Width()
+	for ci := 0; ci < cc.win.Area(); ci++ {
+		if cc.viaDirty[ci].Load() == 0 {
 			continue
 		}
-		base := cell * g.L
-		sum := 0.0
-		cc.viaPfx[base] = 0
-		for b := 0; b < g.L-1; b++ {
-			c := g.viaCostAt(b+1, cell)
-			cc.viaVal[b][cell] = c
-			cc.viaStale[b][cell] = false
-			sum += c
-			cc.viaPfx[base+b+1] = sum
+		gcell := ci
+		if !cc.full {
+			gcell = (cc.win.Lo.Y+ci/cw)*g.W + cc.win.Lo.X + ci%cw
 		}
-		cc.viaDirty[cell].Store(0)
+		if cc.full {
+			base := ci * g.L
+			sum := 0.0
+			cc.viaPfx[base] = 0
+			for b := 0; b < g.L-1; b++ {
+				c := g.viaCostAt(b+1, gcell)
+				cc.viaVal[b][ci] = c
+				cc.viaStale[b][ci] = false
+				sum += c
+				cc.viaPfx[base+b+1] = sum
+			}
+		} else {
+			for b := 0; b < g.L-1; b++ {
+				cc.viaVal[b][ci] = g.viaCostAt(b+1, gcell)
+				cc.viaStale[b][ci] = false
+			}
+		}
+		cc.viaDirty[ci].Store(0)
 		warmed++
 	}
 	cc.warms.Add(int64(warmed))
 }
 
 // InvalidateCostCache drops the materialized field entirely; the next
-// WarmCostCache rebuilds from scratch. Like Warm, coordinator-only.
+// WarmCostCache rebuilds from scratch. Like Warm, coordinator-only. The
+// cache window survives the flush.
 func (g *Graph) InvalidateCostCache() {
 	g.cc = costCache{
+		win:    g.cc.win,
+		full:   g.cc.full,
 		hits:   g.cc.hits,
 		misses: g.cc.misses,
 		invals: g.cc.invals,

@@ -125,7 +125,35 @@ func NewFromDesignParams(d *design.Design, p CostParams) *Graph {
 	for _, blk := range d.Blockages {
 		g.applyBlockage(blk)
 	}
+	g.cc.win = g.fullRect()
+	g.cc.full = true
 	return g
+}
+
+// WindowView returns a Graph sharing every capacity, demand, and history
+// array with g — mutations through either are visible to both — but holding
+// its own cost cache bounded to win. A shard routes through its view: the
+// view's cache stays leaf-sized (the sharded pipeline's peak-memory win)
+// and mutations through the view invalidate the view's cache, never the
+// parent's. The parent's cache must therefore be cold (or invalidated)
+// while views are live; the core pipeline never warms it between view
+// phases. Views are coordinator-created and must not outlive the phase
+// whose mutations they observed.
+func (g *Graph) WindowView(win geom.Rect) *Graph {
+	v := &Graph{
+		W: g.W, H: g.H, L: g.L, Params: g.Params,
+		dirs:    g.dirs,
+		wireCap: g.wireCap, wireDem: g.wireDem,
+		viaCap: g.viaCap, viaDem: g.viaDem,
+		history: g.history,
+	}
+	v.cc.win = win.ClampTo(g.W, g.H)
+	v.cc.full = v.cc.win == g.fullRect()
+	v.cc.hits = g.cc.hits
+	v.cc.misses = g.cc.misses
+	v.cc.invals = g.cc.invals
+	v.cc.warms = g.cc.warms
+	return v
 }
 
 func (g *Graph) applyBlockage(b design.Blockage) {
@@ -198,9 +226,16 @@ func (g *Graph) logistic(dem, cap int32) float64 {
 // or unbuilt cache falls back to the direct formula.
 func (g *Graph) WireCost(l, x, y int) float64 {
 	i := g.wireIndex(l, x, y)
-	if cc := &g.cc; cc.built && !cc.wireStale[l-1][i] {
-		cc.hits.Add(1)
-		return cc.wireVal[l-1][i]
+	if cc := &g.cc; cc.built {
+		if cc.full {
+			if !cc.wireStale[l-1][i] {
+				cc.hits.Add(1)
+				return cc.wireVal[l-1][i]
+			}
+		} else if li, _, ok := g.ccWireLocal(l, x, y); ok && !cc.wireStale[l-1][li] {
+			cc.hits.Add(1)
+			return cc.wireVal[l-1][li]
+		}
 	}
 	g.cc.misses.Add(1)
 	return g.wireCostAt(l, i)
@@ -223,7 +258,7 @@ func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
 			panic(fmt.Sprintf("grid: horizontal segment %v-%v on layer %d misaligned", a, b, l))
 		}
 		lo, hi := geom.Min(a.X, b.X), geom.Max(a.X, b.X)
-		if cc := &g.cc; cc.built && cc.wireDirty[l-1][a.Y].Load() == 0 {
+		if cc := &g.cc; cc.built && cc.full && cc.wireDirty[l-1][a.Y].Load() == 0 {
 			cc.hits.Add(1)
 			p := cc.wirePfx[l-1][a.Y*g.W:]
 			return p[hi] - p[lo]
@@ -236,7 +271,7 @@ func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
 			panic(fmt.Sprintf("grid: vertical segment %v-%v on layer %d misaligned", a, b, l))
 		}
 		lo, hi := geom.Min(a.Y, b.Y), geom.Max(a.Y, b.Y)
-		if cc := &g.cc; cc.built && cc.wireDirty[l-1][a.X].Load() == 0 {
+		if cc := &g.cc; cc.built && cc.full && cc.wireDirty[l-1][a.X].Load() == 0 {
 			cc.hits.Add(1)
 			p := cc.wirePfx[l-1][a.X*g.H:]
 			return p[hi] - p[lo]
@@ -252,9 +287,16 @@ func (g *Graph) SegCost(l int, a, b geom.Point) float64 {
 // above layer l. Cached like WireCost.
 func (g *Graph) ViaEdgeCost(x, y, l int) float64 {
 	i := y*g.W + x
-	if cc := &g.cc; cc.built && !cc.viaStale[l-1][i] {
-		cc.hits.Add(1)
-		return cc.viaVal[l-1][i]
+	if cc := &g.cc; cc.built {
+		if cc.full {
+			if !cc.viaStale[l-1][i] {
+				cc.hits.Add(1)
+				return cc.viaVal[l-1][i]
+			}
+		} else if ci, ok := g.ccViaLocal(x, y); ok && !cc.viaStale[l-1][ci] {
+			cc.hits.Add(1)
+			return cc.viaVal[l-1][ci]
+		}
 	}
 	g.cc.misses.Add(1)
 	return g.viaCostAt(l, i)
@@ -270,7 +312,7 @@ func (g *Graph) ViaStackCost(x, y, l1, l2 int) float64 {
 		return 0
 	}
 	cell := y*g.W + x
-	if cc := &g.cc; cc.built && cc.viaDirty[cell].Load() == 0 {
+	if cc := &g.cc; cc.built && cc.full && cc.viaDirty[cell].Load() == 0 {
 		cc.hits.Add(1)
 		p := cc.viaPfx[cell*g.L:]
 		return p[hi-1] - p[lo-1]

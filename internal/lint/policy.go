@@ -52,6 +52,12 @@ type Policy struct {
 //     what keeps those two tiers from bleeding into each other — a dirty
 //     flag published with sync/atomic must never be re-read plainly (the
 //     epochmix fixture pins this failure mode).
+//   - internal/shard likewise carries no exemptions: the spatial
+//     partitioner is a pure function of (design, margin) — a wall-clock
+//     read, a map-order-dependent leaf numbering or a stray goroutine
+//     there would silently break the shard-count invariance that
+//     TestShardDeterminism pins, so every determinism check applies at
+//     full strength.
 func DefaultPolicy() Policy {
 	return Policy{
 		DetwallExempt: []string{

@@ -39,6 +39,13 @@ type Pool struct {
 	// (the default) is the uncontained mode, where ForUnits calls bodies
 	// directly.
 	fc *fault.Containment
+
+	// lane offsets the tracer lane of this pool's chunk spans. A nested
+	// sub-pool (sharded routing runs one per shard group) sets it to the
+	// group's first composite lane so its workers' spans land on lanes
+	// disjoint from every sibling group's. It shifts only where spans are
+	// drawn; fn still receives the raw worker id.
+	lane int
 }
 
 // NewPool returns a pool of at least one worker.
@@ -51,6 +58,10 @@ func NewPool(workers int) *Pool {
 
 // Workers reports the pool's worker bound.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetLane sets the tracer-lane base for this pool's chunk spans (see the
+// lane field). Call before sharing the pool across goroutines.
+func (p *Pool) SetLane(base int) { p.lane = base }
 
 // SetObserver attaches (or, with nil, detaches) the flight recorder:
 // each claimed chunk then records a span on its worker's lane plus its
@@ -83,7 +94,7 @@ func (p *Pool) For(n int, fn func(worker, i int)) {
 	}
 	if workers == 1 {
 		if observing {
-			sp := p.tr.StartSpan("par.chunk", 0)
+			sp := p.tr.StartSpan("par.chunk", p.lane)
 			for i := 0; i < n; i++ {
 				fn(0, i)
 			}
@@ -122,7 +133,7 @@ func (p *Pool) For(n int, fn func(worker, i int)) {
 				var sp obs.Span
 				if observing {
 					chunkStart = time.Now()
-					sp = p.tr.StartSpan("par.chunk", worker)
+					sp = p.tr.StartSpan("par.chunk", p.lane+worker)
 				}
 				for i := start; i < end; i++ {
 					fn(worker, i)

@@ -59,6 +59,12 @@ func New(spec gpu.Spec, cfg pattern.Config) *Router {
 	return &Router{Dev: gpu.New(spec), Cfg: cfg}
 }
 
+// SetBatchBase offsets the batch-ordinal counter. Sharded routing runs one
+// Router per leaf region; giving each a disjoint ordinal space keeps the
+// kernel site's injection units distinct across leaves and invariant in the
+// shard count (the leaf index, not the execution grouping, picks the base).
+func (r *Router) SetBatchBase(b int) { r.batches = b }
+
 // BatchResult is the outcome of one kernel (one batch).
 type BatchResult struct {
 	Results []pattern.Result

@@ -1,0 +1,106 @@
+package route
+
+import (
+	"fastgr/internal/geom"
+	"fastgr/internal/grid"
+)
+
+// Crossing is a grid step between two adjacent G-cells in different shard
+// regions; it mirrors shard.Crossing without importing that package (route
+// sits below shard in the dependency order).
+type Crossing struct {
+	A, B geom.Point
+}
+
+// StitchFragments reassembles a boundary net from its per-shard fragment
+// routes: the fragment geometry is merged verbatim, then every crossing edge
+// — the one-step halo connections the splitter cut at — is realized on a
+// deterministically chosen layer with the via stacks needed to reach the
+// fragment geometry on both sides.
+//
+// The crossing layer minimizes, at the grid's current demand,
+//
+//	via(A: la -> l) + wire(l, A-B) + via(B: l -> lb)
+//
+// over the layers whose preferred direction matches the step, where la/lb
+// are the lowest layers already carrying the net at A/B (fragment geometry
+// appended so far, earlier crossings included, plus the net's own pins);
+// ties break to the lowest layer. Crossings are processed in the order
+// given, each seeing its predecessors' geometry, so the result is a pure
+// function of (grid state, fragments, crossings) — the stitching pass runs
+// at a sequential coordinator point in canonical net order, which is what
+// makes it shard-count-invariant.
+//
+// The returned route is not committed; the caller commits it like any other.
+func StitchFragments(g *grid.Graph, netID int, pins []geom.Point3, frags []*NetRoute, crossings []Crossing) *NetRoute {
+	merged := &NetRoute{NetID: netID}
+	for _, f := range frags {
+		if f != nil {
+			merged.Paths = append(merged.Paths, f.Paths...)
+		}
+	}
+	for _, cr := range crossings {
+		la := lowestLayerAt(merged, pins, cr.A)
+		lb := lowestLayerAt(merged, pins, cr.B)
+		horiz := cr.A.Y == cr.B.Y
+		bestL, bestCost := 0, 0.0
+		for l := 1; l <= g.L; l++ {
+			if (g.Dir(l) == grid.Horizontal) != horiz {
+				continue
+			}
+			c := g.SegCost(l, cr.A, cr.B)
+			if la > 0 {
+				c += g.ViaStackCost(cr.A.X, cr.A.Y, la, l)
+			}
+			if lb > 0 {
+				c += g.ViaStackCost(cr.B.X, cr.B.Y, l, lb)
+			}
+			if bestL == 0 || c < bestCost {
+				bestL, bestCost = l, c
+			}
+		}
+		var p Path
+		if la > 0 {
+			p.AddVia(cr.A.X, cr.A.Y, la, bestL)
+		}
+		p.AddSeg(bestL, cr.A, cr.B)
+		if lb > 0 {
+			p.AddVia(cr.B.X, cr.B.Y, bestL, lb)
+		}
+		merged.Paths = append(merged.Paths, p)
+	}
+	return merged
+}
+
+// lowestLayerAt returns the lowest layer at which the route's geometry (or
+// one of the net's pins) touches position pos; 0 when nothing does.
+func lowestLayerAt(r *NetRoute, pins []geom.Point3, pos geom.Point) int {
+	best := 0
+	touch := func(l int) {
+		if best == 0 || l < best {
+			best = l
+		}
+	}
+	for _, p := range r.Paths {
+		for _, s := range p.Segs {
+			if s.A.Y == s.B.Y && pos.Y == s.A.Y &&
+				pos.X >= geom.Min(s.A.X, s.B.X) && pos.X <= geom.Max(s.A.X, s.B.X) {
+				touch(s.Layer)
+			} else if s.A.X == s.B.X && pos.X == s.A.X &&
+				pos.Y >= geom.Min(s.A.Y, s.B.Y) && pos.Y <= geom.Max(s.A.Y, s.B.Y) {
+				touch(s.Layer)
+			}
+		}
+		for _, v := range p.Vias {
+			if v.X == pos.X && v.Y == pos.Y {
+				touch(v.L1)
+			}
+		}
+	}
+	for _, pin := range pins {
+		if pin.X == pos.X && pin.Y == pos.Y {
+			touch(pin.Layer)
+		}
+	}
+	return best
+}

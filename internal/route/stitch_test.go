@@ -1,0 +1,144 @@
+package route
+
+import (
+	"testing"
+
+	"fastgr/internal/design"
+	"fastgr/internal/geom"
+	"fastgr/internal/grid"
+)
+
+func stitchGrid(t *testing.T) *grid.Graph {
+	t.Helper()
+	d := &design.Design{
+		Name:          "stitchtest",
+		GridW:         16,
+		GridH:         16,
+		NumLayers:     4,
+		LayerCapacity: []int{0, 8, 8, 8},
+		ViaCapacity:   8,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return grid.NewFromDesign(d)
+}
+
+// TestStitchFragmentsBridgesCut stitches two fragment routes separated by
+// one crossing edge and checks the merged route is a single connected net
+// reaching both pins.
+func TestStitchFragmentsBridgesCut(t *testing.T) {
+	g := stitchGrid(t)
+	pins := []geom.Point3{
+		{X: 2, Y: 5, Layer: 3},
+		{X: 13, Y: 5, Layer: 3},
+	}
+	// Layer 3 is horizontal; each fragment carries its half of the row.
+	left := &NetRoute{NetID: 1}
+	var lp Path
+	lp.AddSeg(3, geom.Point{X: 2, Y: 5}, geom.Point{X: 7, Y: 5})
+	left.Paths = append(left.Paths, lp)
+	right := &NetRoute{NetID: 1}
+	var rp Path
+	rp.AddSeg(3, geom.Point{X: 8, Y: 5}, geom.Point{X: 13, Y: 5})
+	right.Paths = append(right.Paths, rp)
+
+	nr := StitchFragments(g, 1, pins, []*NetRoute{left, right},
+		[]Crossing{{A: geom.Point{X: 7, Y: 5}, B: geom.Point{X: 8, Y: 5}}})
+	if nr.NetID != 1 {
+		t.Fatalf("stitched route carries net ID %d", nr.NetID)
+	}
+	if nr.Committed() {
+		t.Fatal("stitched route must come back uncommitted")
+	}
+	if err := nr.Validate(g, pins); err != nil {
+		t.Fatalf("stitched route invalid: %v", err)
+	}
+	// The fragments sit on layer 3 at both crossing endpoints, so the
+	// cheapest bridge is the bare layer-3 edge — no vias.
+	nr.Commit(g)
+	if got := nr.ViaCount(g); got != 0 {
+		t.Errorf("same-layer stitch added %d vias, want 0", got)
+	}
+	if got := nr.Wirelength(g); got != 11 {
+		t.Errorf("stitched wirelength %d, want 11", got)
+	}
+}
+
+// TestStitchFragmentsClimbsLayers puts the two fragments on different
+// layers and checks the stitch inserts the via stacks needed to connect
+// the crossing edge to both sides.
+func TestStitchFragmentsClimbsLayers(t *testing.T) {
+	g := stitchGrid(t)
+	pins := []geom.Point3{
+		{X: 4, Y: 8, Layer: 1},
+		{X: 11, Y: 9, Layer: 2},
+	}
+	// Left fragment on horizontal layer 1; right fragment reaches its pin
+	// via a vertical layer-2 hop (the crossing is horizontal, so the
+	// bridge itself must pick layer 1 or 3 and via down/over).
+	left := &NetRoute{NetID: 2}
+	var lp Path
+	lp.AddSeg(1, geom.Point{X: 4, Y: 8}, geom.Point{X: 7, Y: 8})
+	left.Paths = append(left.Paths, lp)
+	right := &NetRoute{NetID: 2}
+	var rp Path
+	rp.AddSeg(1, geom.Point{X: 8, Y: 8}, geom.Point{X: 11, Y: 8})
+	rp.AddVia(11, 8, 1, 2)
+	var rp2 Path
+	rp2.AddSeg(2, geom.Point{X: 11, Y: 8}, geom.Point{X: 11, Y: 9})
+	right.Paths = append(right.Paths, rp, rp2)
+
+	nr := StitchFragments(g, 2, pins, []*NetRoute{left, right},
+		[]Crossing{{A: geom.Point{X: 7, Y: 8}, B: geom.Point{X: 8, Y: 8}}})
+	if err := nr.Validate(g, pins); err != nil {
+		t.Fatalf("stitched route invalid: %v", err)
+	}
+}
+
+// TestStitchFragmentsDeterministic stitches the same inputs twice against
+// the same grid state and expects identical geometry — the stitcher must
+// be a pure function of (grid state, fragments, crossings).
+func TestStitchFragmentsDeterministic(t *testing.T) {
+	build := func() *NetRoute {
+		g := stitchGrid(t)
+		pins := []geom.Point3{
+			{X: 1, Y: 2, Layer: 3},
+			{X: 14, Y: 13, Layer: 3},
+		}
+		a := &NetRoute{NetID: 3}
+		var pa Path
+		pa.AddSeg(3, geom.Point{X: 1, Y: 2}, geom.Point{X: 7, Y: 2})
+		a.Paths = append(a.Paths, pa)
+		b := &NetRoute{NetID: 3}
+		var pb Path
+		pb.AddSeg(3, geom.Point{X: 8, Y: 2}, geom.Point{X: 14, Y: 2})
+		var pb2 Path
+		pb2.AddVia(14, 2, 3, 4)
+		pb2.AddSeg(4, geom.Point{X: 14, Y: 2}, geom.Point{X: 14, Y: 13})
+		pb2.AddVia(14, 13, 4, 3)
+		b.Paths = append(b.Paths, pb, pb2)
+		return StitchFragments(g, 3, pins, []*NetRoute{a, b},
+			[]Crossing{{A: geom.Point{X: 7, Y: 2}, B: geom.Point{X: 8, Y: 2}}})
+	}
+	r1, r2 := build(), build()
+	if len(r1.Paths) != len(r2.Paths) {
+		t.Fatalf("path counts differ: %d vs %d", len(r1.Paths), len(r2.Paths))
+	}
+	for i := range r1.Paths {
+		p1, p2 := r1.Paths[i], r2.Paths[i]
+		if len(p1.Segs) != len(p2.Segs) || len(p1.Vias) != len(p2.Vias) {
+			t.Fatalf("path %d shape differs", i)
+		}
+		for j := range p1.Segs {
+			if p1.Segs[j] != p2.Segs[j] {
+				t.Fatalf("path %d seg %d differs: %+v vs %+v", i, j, p1.Segs[j], p2.Segs[j])
+			}
+		}
+		for j := range p1.Vias {
+			if p1.Vias[j] != p2.Vias[j] {
+				t.Fatalf("path %d via %d differs: %+v vs %+v", i, j, p1.Vias[j], p2.Vias[j])
+			}
+		}
+	}
+}

@@ -12,8 +12,11 @@
 #                 executor, the concurrent obs recorders, sched + maze, which
 #                 run under the pool from core's parallel sections, grid,
 #                 whose cost-cache invalidation flags are mutated from
-#                 concurrent rip-up windows, and fault, the containment
-#                 layer whose counters are hit from every worker
+#                 concurrent rip-up windows, fault, the containment
+#                 layer whose counters are hit from every worker, and
+#                 shard, whose plans and splits are read from every leaf
+#                 slot (core's TestShardDeterminism drives the sharded
+#                 pipeline itself at 1/2/8 workers under -race)
 #   lint        — fastgrlint, the static invariant net (determinism +
 #                 passive observability + recover-hygiene contracts), gofmt
 #                 verification on
@@ -27,6 +30,10 @@
 #   bench-fault — fault containment overhead guard: benchgen -fault fails
 #                 if arming the layer with injection disabled costs more
 #                 than 2% on the pattern or maze workloads
+#   bench-shard — sharded routing guard: benchgen -shard sweeps sharded
+#                 vs monolithic on the largest harness design and fails
+#                 if the K=4 peak-heap delta exceeds half the monolithic
+#                 one or quality drifts more than 10%
 #
 # Every step runs even after a failure, and the trailer prints one
 # PASS/FAIL line per step so a red build is attributable at a glance.
@@ -52,12 +59,13 @@ $name: FAIL"
 step vet        go vet -tests=true ./...
 step build      go build ./...
 step test       go test ./...
-step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze ./internal/grid ./internal/fault
+step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze ./internal/grid ./internal/fault ./internal/shard
 step lint       go run ./cmd/fastgrlint -fmt ./...
 step bench-obs  go run ./cmd/benchgen -obs -o BENCH_obs.json
 step bench-lint go run ./cmd/benchgen -lint -o BENCH_lint.json
 step bench-maze go run ./cmd/benchgen -maze -o BENCH_maze.json
 step bench-fault go run ./cmd/benchgen -fault -o BENCH_fault.json
+step bench-shard go run ./cmd/benchgen -shard -o BENCH_shard.json
 
 echo "== tier1 summary ==$summary"
 exit $fail
