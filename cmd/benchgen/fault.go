@@ -112,6 +112,9 @@ type faultReport struct {
 	MazeOverheadPct       float64 `json:"maze_overhead_pct"`
 
 	MaxOverheadPct float64 `json:"max_overhead_pct"`
+
+	// Meta fingerprints the measurement host for -regress (stamp.go).
+	Meta BenchMeta `json:"meta"`
 }
 
 // runFault measures the disabled-injection cost of the fault containment
@@ -188,6 +191,7 @@ func runFault(out string) error {
 		}
 	}
 
+	rep.Meta = currentBenchMeta()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -63,6 +63,9 @@ type hostparReport struct {
 	MazeFresh        hostparEntry            `json:"maze_fresh"`
 	MazeReused       hostparEntry            `json:"maze_reused_scratch"`
 	PatternBatch     map[string]hostparEntry `json:"pattern_batch_by_workers"`
+
+	// Meta fingerprints the measurement host for -regress (stamp.go).
+	Meta BenchMeta `json:"meta"`
 }
 
 // runHostpar measures the host-parallel execution micro-benchmarks — maze
@@ -145,6 +148,7 @@ func runHostpar(out string) error {
 		rep.PatternBatch[key] = e
 	}
 
+	rep.Meta = currentBenchMeta()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -21,6 +21,9 @@ type lintReport struct {
 	Findings    int     `json:"findings"`
 	WallMs      float64 `json:"wall_ms"`
 	FilesPerSec float64 `json:"files_per_sec"`
+
+	// Meta fingerprints the measurement host for -regress (stamp.go).
+	Meta BenchMeta `json:"meta"`
 }
 
 // runLint measures one cold run of the full suite (loading, type
@@ -65,6 +68,7 @@ func runLint(out string) error {
 	if wall > 0 {
 		rep.FilesPerSec = float64(files) / wall.Seconds()
 	}
+	rep.Meta = currentBenchMeta()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -42,6 +42,9 @@ type mazeReport struct {
 	SpeedupAStarWarm  float64 `json:"speedup_astar_warm_vs_dijkstra_cold"`
 	ExpansionRatio    float64 `json:"expansion_ratio_astar_vs_dijkstra"`
 	MinSpeedupAllowed float64 `json:"min_speedup_allowed"`
+
+	// Meta fingerprints the measurement host for -regress (stamp.go).
+	Meta BenchMeta `json:"meta"`
 }
 
 // runMaze measures the maze kernel over {dijkstra,astar} x {cold,warm
@@ -151,6 +154,7 @@ func runMaze(out string) error {
 	rep.SpeedupAStarWarm = float64(seed.NsPerOp) / float64(ship.NsPerOp)
 	rep.ExpansionRatio = float64(ship.Expansions) / float64(seed.Expansions)
 
+	rep.Meta = currentBenchMeta()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -39,6 +39,9 @@ type obsReport struct {
 	DisabledOverheadPct    float64 `json:"disabled_overhead_pct"`
 	EnabledOverheadPct     float64 `json:"enabled_overhead_pct"`
 	MaxDisabledOverheadPct float64 `json:"max_disabled_overhead_pct"`
+
+	// Meta fingerprints the measurement host for -regress (stamp.go).
+	Meta BenchMeta `json:"meta"`
 }
 
 // minNsPerOp hand-rolls the timing instead of testing.Benchmark: a fixed
@@ -111,6 +114,7 @@ func runObs(out string) error {
 	rep.DisabledOverheadPct = pct(rep.DisabledNsPerOp)
 	rep.EnabledOverheadPct = pct(rep.EnabledNsPerOp)
 
+	rep.Meta = currentBenchMeta()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -69,6 +69,9 @@ type shardReport struct {
 	MaxHeapRatioK4   float64 `json:"max_heap_ratio_k4"`
 	ScoreDriftPct    float64 `json:"score_drift_pct"`
 	MaxScoreDriftPct float64 `json:"max_score_drift_pct"`
+
+	// Meta fingerprints the measurement host for -regress (stamp.go).
+	Meta BenchMeta `json:"meta"`
 }
 
 // runShard sweeps the full pipeline monolithically and at K ∈ {1, 2, 4}
@@ -148,6 +151,7 @@ func runShard(out string) error {
 	}
 	rep.HeapRatioK4 = float64(k4.DeltaHeap) / float64(rep.Monolithic.DeltaHeap)
 
+	rep.Meta = currentBenchMeta()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

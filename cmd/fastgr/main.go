@@ -28,6 +28,7 @@ import (
 	"fastgr/internal/maze"
 	"fastgr/internal/metrics"
 	"fastgr/internal/obs"
+	"fastgr/internal/obs/opsrv"
 	"fastgr/internal/sched"
 )
 
@@ -50,6 +51,9 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event timeline to this file (open at ui.perfetto.dev)")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry and report as JSON to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		listenAddr = flag.String("listen", "", "serve the ops endpoints (/metrics, /healthz, /tracez, /debug/pprof) on this address for the duration of the run")
+		stallAfter = flag.Duration("stall-after", 0, "with -listen: /healthz turns 503 when a running stage reports no progress for this long (0 = never)")
+		journalOut = flag.String("journal", "", "write a structured JSON-lines run journal (stage boundaries and rip-up iterations) to this file, crash-safely")
 		faultProb  = flag.Float64("fault-prob", 0, "arm the chaos injector: per-site failure probability in [0,1]; never changes the routed result")
 		faultSeed  = flag.Int64("fault-seed", 0, "chaos injection seed (with -fault-prob 0, arms the containment layer silently)")
 		mazeBudget = flag.Int64("maze-budget", 0, "per-net maze expansion budget; over-budget nets keep their pattern route (0 = unlimited)")
@@ -127,12 +131,25 @@ func main() {
 	// The flight recorder is passive: attaching it never changes the
 	// routed geometry, the modeled times or the reported quality.
 	var o *obs.Observer
-	if *traceOut != "" || *metricsOut != "" {
-		o = &obs.Observer{Metrics: obs.NewRegistry()}
-		if *traceOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *listenAddr != "" || *journalOut != "" {
+		o = &obs.Observer{Metrics: obs.NewRegistry(), Health: obs.NewHealth()}
+		if *traceOut != "" || *listenAddr != "" {
 			o.Tracer = obs.NewTracer(1<<18, opt.ExecWorkers)
 		}
 		opt.Obs = o
+	}
+	var journal *obs.Journal
+	if *journalOut != "" {
+		journal = obs.NewJournal(*journalOut)
+		opt.Journal = journal
+	}
+	if *listenAddr != "" {
+		srv, err := opsrv.Start(*listenAddr, opsrv.Config{Obs: o, StallAfter: *stallAfter})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("ops endpoints on http://%s (/metrics /healthz /tracez /debug/pprof)\n", srv.Addr())
 	}
 
 	res, err := core.Route(d, opt)
@@ -156,6 +173,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			fatal(fmt.Errorf("journal: %w", err))
+		}
+		fmt.Printf("journal written to %s (%d events)\n", *journalOut, journal.Events())
 	}
 
 	if *evalDR {
@@ -229,14 +252,12 @@ func printReport(res *core.Result) {
 	fmt.Printf("stages   batches=%d nets-to-ripup=%d hybrid-edges=%d/%d pattern-score=%.1f\n",
 		r.PatternBatches, r.NetsToRipup, r.HybridEdges, r.TotalEdges, r.PatternScore)
 	fmt.Printf("heap     peak=%.1f MiB\n", float64(r.PeakHeapBytes)/(1<<20))
-	if r.Shards > 0 {
-		fmt.Printf("shards   k=%d leaves=%d boundary-nets=%d reroutes=%d reconcile=%v\n",
-			r.Shards, r.ShardLeaves, r.BoundaryNets, r.BoundaryReroutes, r.ReconcileTime)
-	}
-	if r.Fault != (core.FaultStats{}) {
-		fmt.Printf("fault    failed-nets=%d skipped-nets=%d kernel-fallbacks=%d budget-fallbacks=%d\n",
-			r.Fault.FailedNets, r.Fault.SkippedNets, r.Fault.KernelFallbacks, r.Fault.BudgetFallbacks)
-	}
+	// Every variant prints every row: a reader diffing two runs should
+	// never wonder whether a stat was zero or just omitted.
+	fmt.Printf("shards   k=%d leaves=%d boundary-nets=%d reroutes=%d reconcile=%v\n",
+		r.Shards, r.ShardLeaves, r.BoundaryNets, r.BoundaryReroutes, r.ReconcileTime)
+	fmt.Printf("fault    failed-nets=%d skipped-nets=%d kernel-fallbacks=%d budget-fallbacks=%d\n",
+		r.Fault.FailedNets, r.Fault.SkippedNets, r.Fault.KernelFallbacks, r.Fault.BudgetFallbacks)
 	for i, it := range r.RRR {
 		fmt.Printf("  rrr[%d] nets=%d expansions=%d taskgraph=%v batch=%v shorts=%d score=%.1f\n",
 			i, it.Nets, it.Expansions, it.TaskGraphTime, it.BatchTime, it.Quality.Shorts, it.Score)

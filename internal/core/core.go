@@ -121,6 +121,12 @@ type Options struct {
 	// are bit-identical with it on, off, or at any ExecWorkers count; the
 	// determinism suite runs with tracing enabled to enforce that.
 	Obs *obs.Observer
+	// Journal, when non-nil, receives the structured run journal: one
+	// "stage" event per stage boundary and one "iter" event per rip-up
+	// iteration (see journal.go for the payloads). Passive like Obs, and
+	// crash-safe: the journal republishes atomically at every event, so
+	// a run killed mid-flight leaves a complete, parseable trajectory.
+	Journal *obs.Journal
 	// Fault, when non-nil, arms the fault containment layer (internal/fault)
 	// around every parallel work unit: panics and injected faults are
 	// retried, exhausted units degrade (a failed reroute keeps its pattern
@@ -320,6 +326,10 @@ type runner struct {
 	routes []*route.NetRoute
 	rep    Report
 
+	// jHits/jMisses are the cost-cache counter watermarks from the last
+	// journaled iteration (see journalIter).
+	jHits, jMisses int64
+
 	// Sharded-pipeline state (see shardpipe.go); nil/empty when Shards == 0.
 	shplan    *shard.Plan
 	intraLeaf []int          // by net ID: containing leaf ordinal, -1 for boundary nets
@@ -395,6 +405,7 @@ func (r *runner) plan() error {
 	start := obs.StartStopwatch()
 	sp := r.opt.Obs.T().StartSpan("plan", obs.Coordinator)
 	defer sp.End()
+	r.stageStart("plan")
 	est := r.g.Estimator2D()
 	maxID := 0
 	for _, n := range r.d.Nets {
@@ -417,6 +428,7 @@ func (r *runner) plan() error {
 	if len(errs) > 0 {
 		return fmt.Errorf("core: planning: %w", errs[0])
 	}
+	r.stageDone("plan", r.rep.Times.PlanWall, 0)
 	return nil
 }
 
@@ -427,6 +439,7 @@ func (r *runner) patternStage() {
 	tr := r.opt.Obs.T()
 	sp := tr.StartSpan("pattern", obs.Coordinator)
 	defer sp.End()
+	r.stageStart("pattern")
 
 	ordered := append([]*design.Net(nil), r.d.Nets...)
 	sched.SortNets(ordered, r.opt.Scheme)
@@ -460,6 +473,7 @@ func (r *runner) patternStage() {
 				r.rep.HybridEdges += res.HybridEdges
 			}
 			bsp.End()
+			r.stageBeat("pattern")
 		}
 		r.rep.PatternSeqOps = ops
 		r.rep.PatternSeqTime = r.opt.CPU.SequentialTime(ops)
@@ -498,12 +512,14 @@ func (r *runner) patternStage() {
 			r.rep.PatternSeqOps += br.SeqOps
 			r.rep.Times.Pattern += br.KernelTime
 			bsp.End()
+			r.stageBeat("pattern")
 		}
 		r.rep.PatternSeqTime = r.opt.CPU.SequentialTime(r.rep.PatternSeqOps)
 	}
 	r.rep.PatternQuality = r.snapshotQuality()
 	r.rep.PatternScore = r.rep.PatternQuality.Score()
 	r.rep.Times.PatternWall = start.Elapsed()
+	r.stageDone("pattern", r.rep.Times.PatternWall, r.rep.PatternScore)
 }
 
 // patternConfig resolves the variant's pattern kernel configuration —
@@ -544,6 +560,7 @@ func (r *runner) rrrStage() error {
 	tr := r.opt.Obs.T()
 	stageSp := tr.StartSpan("rrr", obs.Coordinator)
 	defer stageSp.End()
+	r.stageStart("rrr")
 	scheme := r.opt.Scheme
 	if r.opt.RRRSchemeOverride != nil {
 		scheme = *r.opt.RRRSchemeOverride
@@ -706,7 +723,7 @@ func (r *runner) rrrStage() error {
 		}
 		r.rep.Fault.BudgetFallbacks += iterBudget
 		iterQ := r.snapshotQuality()
-		r.rep.RRR = append(r.rep.RRR, IterStats{
+		st := IterStats{
 			Nets:            len(violating),
 			Expansions:      totalExp,
 			TaskGraphTime:   tg,
@@ -717,12 +734,13 @@ func (r *runner) rrrStage() error {
 			FailedNets:      iterFailed,
 			SkippedNets:     iterSkipped,
 			BudgetFallbacks: iterBudget,
-		})
+		}
+		r.rep.RRR = append(r.rep.RRR, st)
 		if m := r.opt.Obs.M(); m != nil {
 			m.Counter(obs.MRRRNets).Add(int64(len(violating)))
 			m.Counter(obs.MRRRExpansions).Add(totalExp)
-			m.Gauge("rrr.iterations").Set(int64(iter + 1))
-			m.Gauge("rrr.overflow").Set(int64(iterQ.Shorts))
+			m.Gauge(obs.MRRRIterations).Set(int64(iter + 1))
+			m.Gauge(obs.MRRROverflow).Set(int64(iterQ.Shorts))
 		}
 		r.rep.MazeTaskGraphTime += tg
 		r.rep.MazeBatchTime += bb
@@ -739,9 +757,16 @@ func (r *runner) rrrStage() error {
 			r.g.BumpOverflowHistory(bump)
 		}
 		r.sampleHeap()
+		r.stageBeat("rrr")
+		r.journalIter(iter, st, iterQ)
 		iterSp.End()
 	}
 	r.rep.Times.MazeWall = start.Elapsed()
+	score := r.rep.PatternScore
+	if n := len(r.rep.RRR); n > 0 {
+		score = r.rep.RRR[n-1].Score
+	}
+	r.stageDone("rrr", r.rep.Times.MazeWall, score)
 	return nil
 }
 

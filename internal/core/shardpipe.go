@@ -125,6 +125,7 @@ func (r *runner) shardPatternStage() error {
 	tr := r.opt.Obs.T()
 	sp := tr.StartSpan("pattern", obs.Coordinator)
 	defer sp.End()
+	r.stageStart("pattern")
 
 	// Assign work to leaves: one item per intra net, one per (boundary
 	// net, leaf) fragment. The per-leaf net order is the global scheme
@@ -244,6 +245,9 @@ func (r *runner) shardPatternStage() error {
 					a.kernelTime += br.KernelTime
 				}
 			}
+			// One liveness beat per leaf group; Health is mutex-guarded,
+			// so worker-side beats are safe and order-independent.
+			r.stageBeat("pattern")
 		}
 	})
 
@@ -278,6 +282,7 @@ func (r *runner) shardPatternStage() error {
 	r.rep.PatternQuality = r.snapshotQuality()
 	r.rep.PatternScore = r.rep.PatternQuality.Score()
 	r.rep.Times.PatternWall = start.Elapsed()
+	r.stageDone("pattern", r.rep.Times.PatternWall, r.rep.PatternScore)
 	return nil
 }
 
@@ -363,6 +368,7 @@ func (r *runner) shardRRRStage() error {
 	tr := r.opt.Obs.T()
 	stageSp := tr.StartSpan("rrr", obs.Coordinator)
 	defer stageSp.End()
+	r.stageStart("rrr")
 	scheme := r.opt.Scheme
 	if r.opt.RRRSchemeOverride != nil {
 		scheme = *r.opt.RRRSchemeOverride
@@ -603,7 +609,7 @@ func (r *runner) shardRRRStage() error {
 		r.rep.Fault.SkippedNets += iterSkipped
 		r.rep.Fault.BudgetFallbacks += iterBudget
 		iterQ := r.snapshotQuality()
-		r.rep.RRR = append(r.rep.RRR, IterStats{
+		st := IterStats{
 			Nets:            len(violating),
 			Expansions:      totalExp,
 			TaskGraphTime:   tg,
@@ -614,12 +620,13 @@ func (r *runner) shardRRRStage() error {
 			FailedNets:      iterFailed,
 			SkippedNets:     iterSkipped,
 			BudgetFallbacks: iterBudget,
-		})
+		}
+		r.rep.RRR = append(r.rep.RRR, st)
 		if m := r.opt.Obs.M(); m != nil {
 			m.Counter(obs.MRRRNets).Add(int64(len(violating)))
 			m.Counter(obs.MRRRExpansions).Add(totalExp)
-			m.Gauge("rrr.iterations").Set(int64(iter + 1))
-			m.Gauge("rrr.overflow").Set(int64(iterQ.Shorts))
+			m.Gauge(obs.MRRRIterations).Set(int64(iter + 1))
+			m.Gauge(obs.MRRROverflow).Set(int64(iterQ.Shorts))
 		}
 		r.rep.MazeTaskGraphTime += tg
 		r.rep.MazeBatchTime += bb
@@ -636,8 +643,15 @@ func (r *runner) shardRRRStage() error {
 			r.g.BumpOverflowHistory(bump)
 		}
 		r.sampleHeap()
+		r.stageBeat("rrr")
+		r.journalIter(iter, st, iterQ)
 		iterSp.End()
 	}
 	r.rep.Times.MazeWall = start.Elapsed()
+	score := r.rep.PatternScore
+	if n := len(r.rep.RRR); n > 0 {
+		score = r.rep.RRR[n-1].Score
+	}
+	r.stageDone("rrr", r.rep.Times.MazeWall, score)
 	return nil
 }

@@ -41,6 +41,13 @@ type Policy struct {
 //   - goroutines may only be spawned by the par pool, the taskflow
 //     executor and obs itself; cmd binaries needing a service goroutine
 //     (e.g. the pprof listener) must justify it with a suppression.
+//   - internal/obs/opsrv is additionally allowed one bare go statement:
+//     the ops server's accept loop (go srv.Serve(ln)). It lives outside
+//     the routing pipeline — handlers only snapshot observability state,
+//     never touch routed data — so it cannot violate the one-goroutine-
+//     per-lane tracer invariant or the determinism contract, and an
+//     accept loop cannot run on the par pool without deadlocking a
+//     worker for the lifetime of the server.
 //   - internal/obs carries the nil-safety contract.
 //   - internal/fault is the only package allowed to call recover():
 //     containment re-counts every recovery into the fault accounting
@@ -71,6 +78,7 @@ func DefaultPolicy() Policy {
 			"fastgr/internal/par",
 			"fastgr/internal/taskflow",
 			"fastgr/internal/obs",
+			"fastgr/internal/obs/opsrv",
 		},
 		NilsafePackages: []string{
 			"fastgr/internal/obs",

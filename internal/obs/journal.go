@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"fastgr/internal/atomicio"
+)
+
+// Journal is the structured run journal: one JSON object per line, one
+// line per pipeline stage boundary or rip-up iteration. Every Emit
+// republishes the whole journal through internal/atomicio (temp file +
+// rename), so a crash at any instant leaves a complete, parseable
+// journal of every event emitted before it — never a torn last line.
+// The event cadence is stages and iterations, a few dozen lines per
+// run, so the quadratic rewrite cost is noise next to one maze search.
+//
+// Envelope schema (one per line):
+//
+//	{"seq": 3, "ts_ms": 1754650000123, "event": "iter", "data": {...}}
+//
+// seq increases by one per event; ts_ms is the wall-clock Unix
+// timestamp in milliseconds (observational only, like every wall read
+// in this package); data is the emitter's payload, schema'd by event
+// kind (see DESIGN.md "Serving observability"). The nil *Journal is the
+// disabled journal: Emit is a no-op, so call sites need no conditionals.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	now  func() time.Time
+	buf  []byte
+	seq  int64
+	err  error // first publish error; later Emits still accumulate
+}
+
+type journalEnvelope struct {
+	Seq   int64  `json:"seq"`
+	TsMs  int64  `json:"ts_ms"`
+	Event string `json:"event"`
+	Data  any    `json:"data"`
+}
+
+// NewJournal returns a journal publishing to path. Nothing is written
+// until the first Emit.
+func NewJournal(path string) *Journal {
+	return &Journal{path: path, now: time.Now}
+}
+
+// setClock pins the clock for deterministic tests.
+func (j *Journal) setClock(now func() time.Time) { j.now = now }
+
+// Emit appends one event and republishes the journal file. Marshal or
+// publish failures are remembered (first error wins) and reported by
+// Err; emission itself never fails the caller, keeping the journal as
+// passive as the rest of the flight recorder.
+func (j *Journal) Emit(event string, data any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	line, err := json.Marshal(journalEnvelope{
+		Seq:   j.seq,
+		TsMs:  j.now().UnixMilli(),
+		Event: event,
+		Data:  data,
+	})
+	if err != nil {
+		if j.err == nil {
+			j.err = err
+		}
+		return
+	}
+	j.buf = append(j.buf, line...)
+	j.buf = append(j.buf, '\n')
+	if err := atomicio.WriteFile(j.path, j.buf); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Events reports how many events were emitted (0 for nil).
+func (j *Journal) Events() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Err returns the first marshal or publish error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

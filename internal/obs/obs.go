@@ -18,12 +18,15 @@
 // the pattern-stage benchmark stays under 2%.
 package obs
 
-// Observer bundles the two observability sinks. A nil *Observer is the
-// disabled mode; both fields are optional, so a caller can trace without
+// Observer bundles the observability sinks. A nil *Observer is the
+// disabled mode; every field is optional, so a caller can trace without
 // metrics or vice versa.
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	// Health, when non-nil, receives stage-level liveness beats for the
+	// ops server's /healthz endpoint.
+	Health *Health
 }
 
 // T returns the tracer, nil-safely: a nil observer has a nil tracer.
@@ -40,6 +43,14 @@ func (o *Observer) M() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// H returns the health tracker, nil-safely.
+func (o *Observer) H() *Health {
+	if o == nil {
+		return nil
+	}
+	return o.Health
 }
 
 // Enabled reports whether any sink is attached.
@@ -79,6 +90,11 @@ const (
 	MRRRNets = "rrr.nets_ripped"
 	// MRRRExpansions counts maze expansions across all iterations.
 	MRRRExpansions = "rrr.expansions"
+	// MRRRIterations gauges the rip-up iterations completed so far.
+	MRRRIterations = "rrr.iterations"
+	// MRRROverflow gauges total overflow after the latest committed
+	// iteration.
+	MRRROverflow = "rrr.overflow"
 	// MCostHits counts cost-cache fast-path reads (wire, via, segment and
 	// stack queries answered from the materialized cost field).
 	MCostHits = "grid.cost.hits"

@@ -1,0 +1,171 @@
+// Package opsrv is the embeddable ops endpoint for long routing runs: a
+// small HTTP server exposing the observability surface that package obs
+// records — Prometheus metrics, stage-level liveness, a live span view —
+// plus the stock net/http/pprof profiles.
+//
+// The server is strictly read-only and strictly passive: handlers only
+// snapshot the registry, health tracker and tracer ring, so serving a
+// scrape never perturbs routed geometry, modeled times or reported
+// quality (the determinism suite pins a full run with a server armed and
+// a scraper hammering it). It is off by default; cmd/fastgr starts one
+// only when -listen is given.
+//
+// Endpoints:
+//
+//	/metrics         Prometheus text format 0.0.4 (internal/obs/prom)
+//	/healthz         JSON stage liveness; 503 when a running stage has
+//	                 not progressed within Config.StallAfter
+//	/tracez          JSON per-lane live view plus recent completed spans
+//	/debug/pprof/*   standard runtime profiles
+package opsrv
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"fastgr/internal/obs"
+	"fastgr/internal/obs/prom"
+)
+
+// Config selects what the server exposes. The zero Config is valid and
+// serves empty metrics and an always-ok health report.
+type Config struct {
+	// Obs supplies the registry, health tracker and tracer behind the
+	// endpoints. Nil (or nil fields) degrade to empty responses.
+	Obs *obs.Observer
+	// StallAfter, when positive, is the liveness window: /healthz turns
+	// 503 when a running stage reports no progress for longer than this.
+	// Zero disables stall detection and /healthz always reports ok.
+	StallAfter time.Duration
+}
+
+// Server is a running ops endpoint. Close it when the run ends.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port, empty host for all interfaces, port
+// 0 for an ephemeral port) and serves the ops endpoints until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", prom.ContentType)
+		if err := prom.Write(w, cfg.Obs.M().Snapshot()); err != nil {
+			// The snapshot rendered; the write failing means the client
+			// went away. Nothing useful to do.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		serveHealthz(w, cfg.Obs.H(), cfg.StallAfter)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		serveTracez(w, cfg.Obs.T())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go srv.Serve(ln) // accept loop; sanctioned by the lint goroutine policy
+	return s, nil
+}
+
+// Addr returns the bound address, useful when Start was given port 0.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting connections and closes the listener. In-flight
+// handlers finish against closed connections; a routing run shutting
+// down does not wait on scrapers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// healthzReport is the /healthz response body.
+type healthzReport struct {
+	Status  string            `json:"status"` // "ok" or "stalled"
+	Stages  []obs.StageHealth `json:"stages"`
+	Stalled []string          `json:"stalled,omitempty"`
+}
+
+func serveHealthz(w http.ResponseWriter, h *obs.Health, window time.Duration) {
+	rep := healthzReport{Status: "ok", Stages: h.Stages()}
+	for _, st := range h.Stalled(window) {
+		rep.Stalled = append(rep.Stalled, st.Name)
+	}
+	code := http.StatusOK
+	if len(rep.Stalled) > 0 {
+		rep.Status = "stalled"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(rep)
+}
+
+// tracezReport is the /tracez response body: the live per-lane view plus
+// an aggregate of the completed spans still in the tracer's ring.
+type tracezReport struct {
+	Lanes    []obs.LaneStatus `json:"lanes"`
+	Recent   []spanAggregate  `json:"recent"`
+	Recorded uint64           `json:"recorded"`
+	Dropped  uint64           `json:"dropped"`
+}
+
+type spanAggregate struct {
+	Name    string        `json:"name"`
+	Count   int           `json:"count"`
+	TotalNs time.Duration `json:"total_ns"`
+	MaxNs   time.Duration `json:"max_ns"`
+}
+
+func serveTracez(w http.ResponseWriter, t *obs.Tracer) {
+	rep := tracezReport{
+		Lanes:    t.LaneStatuses(),
+		Recorded: t.Recorded(),
+		Dropped:  t.Dropped(),
+	}
+	agg := map[string]*spanAggregate{}
+	for _, ev := range t.Events() {
+		a := agg[ev.Name]
+		if a == nil {
+			a = &spanAggregate{Name: ev.Name}
+			agg[ev.Name] = a
+		}
+		a.Count++
+		a.TotalNs += ev.Dur
+		if ev.Dur > a.MaxNs {
+			a.MaxNs = ev.Dur
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep.Recent = append(rep.Recent, *agg[name])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}

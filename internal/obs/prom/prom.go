@@ -1,0 +1,192 @@
+// Package prom renders an obs registry snapshot in the Prometheus text
+// exposition format 0.0.4, the format every Prometheus-compatible
+// scraper (Prometheus itself, VictoriaMetrics, Grafana agent) consumes
+// from a /metrics endpoint.
+//
+// The mapping from the registry's dotted names to the canonical
+// fastgr_* namespace lives in internal/obs (PromMappingFor): dotted
+// siblings that are one logical metric split by a dimension share a
+// family and differ in a constant label. Counters render with the
+// conventional _total suffix, gauges bare, and the registry's
+// pow2-bucket histograms become cumulative _bucket series with a +Inf
+// bound plus _sum and _count.
+//
+// Output is deterministic: families sort by exposed name, series within
+// a family sort by label signature, and two renders of the same
+// snapshot are byte-identical — the conformance test in this package
+// holds the renderer to the format's grammar (HELP/TYPE ordering,
+// escaping, bucket monotonicity, count/+Inf agreement).
+package prom
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fastgr/internal/obs"
+)
+
+// ContentType is the Content-Type header value a /metrics handler
+// should serve alongside this exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled member of a family.
+type series struct {
+	labels string // rendered {k="v",...} signature, "" when unlabeled
+	value  int64
+	hist   obs.HistSnapshot
+}
+
+type family struct {
+	name   string // exposed name: family (+ _total for counters)
+	help   string
+	kind   kind
+	series []series
+}
+
+// Write renders the snapshot. The error is the writer's, if any.
+func Write(w io.Writer, s obs.Snapshot) error {
+	byName := map[string]*family{}
+	add := func(dotted string, k kind, sr series) error {
+		m := obs.PromMappingFor(dotted)
+		name := m.Family
+		if k == kindCounter {
+			name += "_total"
+		}
+		f := byName[name]
+		if f == nil {
+			f = &family{name: name, help: m.Help, kind: k}
+			byName[name] = f
+		}
+		if f.kind != k {
+			return fmt.Errorf("prom: family %s mapped from both %v and %v metrics", name, f.kind, k)
+		}
+		sr.labels = renderLabels(m.Labels)
+		f.series = append(f.series, sr)
+		return nil
+	}
+	for _, dotted := range sortedKeys(s.Counters) {
+		if err := add(dotted, kindCounter, series{value: s.Counters[dotted]}); err != nil {
+			return err
+		}
+	}
+	for _, dotted := range sortedKeys(s.Gauges) {
+		if err := add(dotted, kindGauge, series{value: s.Gauges[dotted]}); err != nil {
+			return err
+		}
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for dotted := range s.Histograms {
+		histNames = append(histNames, dotted)
+	}
+	sort.Strings(histNames)
+	for _, dotted := range histNames {
+		if err := add(dotted, kindHistogram, series{hist: s.Histograms[dotted]}); err != nil {
+			return err
+		}
+	}
+
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := byName[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, sr := range f.series {
+			switch f.kind {
+			case kindCounter, kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, sr.labels, sr.value)
+			case kindHistogram:
+				writeHistogram(&b, f.name, sr)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the cumulative _bucket series, _sum and _count.
+// The +Inf bucket and _count are both the sum over the snapshot's
+// per-bucket counts, so they agree exactly even when observations were
+// in flight while the snapshot's independent atomics were read.
+func writeHistogram(b *strings.Builder, name string, sr series) {
+	var cum int64
+	for i, bound := range sr.hist.Bounds {
+		cum += sr.hist.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(sr.labels, strconv.FormatInt(bound, 10)), cum)
+	}
+	if n := len(sr.hist.Counts); n > 0 {
+		cum += sr.hist.Counts[n-1] // overflow bucket
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(sr.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, sr.labels, sr.hist.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, sr.labels, cum)
+}
+
+// withLE appends the le label to an already-rendered label signature.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+// renderLabels renders constant labels as {k="v",...} with label-value
+// escaping per the format spec (backslash, double quote, newline).
+func renderLabels(labels []obs.PromLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

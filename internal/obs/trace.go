@@ -38,6 +38,12 @@ type Tracer struct {
 	// (one goroutine per lane at a time) makes plain counters correct,
 	// but atomics keep the tracer safe even for callers that break it.
 	depth []int32
+	// last[lane] is the most recently started span on the lane — the
+	// best-effort "what is this lane doing" view behind /tracez. It is
+	// written on StartSpan only (one atomic store when recording is on)
+	// and never cleared on End: combined with depth it reads as "busy
+	// in/under <span>" when depth > 0 and "idle, last ran <span>" at 0.
+	last []atomic.Pointer[laneMark]
 
 	mu    sync.Mutex
 	buf   []Event
@@ -61,6 +67,7 @@ func NewTracer(capacity, workers int) *Tracer {
 		epoch: time.Now(),
 		now:   time.Now,
 		depth: make([]int32, workers+1),
+		last:  make([]atomic.Pointer[laneMark], workers+1),
 		cap:   capacity,
 	}
 	t.on.Store(true)
@@ -105,7 +112,9 @@ func (t *Tracer) StartSpan(name string, worker int) Span {
 		lane = 0
 	}
 	d := atomic.AddInt32(&t.depth[lane], 1) - 1
-	return Span{t: t, name: name, lane: int32(lane), depth: d, start: t.now().Sub(t.epoch)}
+	start := t.now().Sub(t.epoch)
+	t.last[lane].Store(&laneMark{name: name, start: start})
+	return Span{t: t, name: name, lane: int32(lane), depth: d, start: start}
 }
 
 // End closes the span and records it into the ring buffer.
@@ -169,4 +178,38 @@ func (t *Tracer) Lanes() int {
 		return 0
 	}
 	return len(t.depth)
+}
+
+// laneMark records the most recently started span on a lane.
+type laneMark struct {
+	name  string
+	start time.Duration
+}
+
+// LaneStatus is one lane's live view for the ops server's /tracez: the
+// current nesting depth (0 = idle) and the most recently started span.
+// In-flight reads race benignly with recording — depth and last-span
+// are sampled independently — so the view is best-effort by design.
+type LaneStatus struct {
+	Lane  int    `json:"lane"`
+	Depth int32  `json:"depth"`
+	Span  string `json:"span,omitempty"`
+	// SpanStart is the span's start offset from the tracer epoch.
+	SpanStart time.Duration `json:"span_start_ns,omitempty"`
+}
+
+// LaneStatuses samples every lane's live status; nil for a nil tracer.
+func (t *Tracer) LaneStatuses() []LaneStatus {
+	if t == nil {
+		return nil
+	}
+	out := make([]LaneStatus, len(t.depth))
+	for lane := range t.depth {
+		out[lane] = LaneStatus{Lane: lane, Depth: atomic.LoadInt32(&t.depth[lane])}
+		if m := t.last[lane].Load(); m != nil {
+			out[lane].Span = m.name
+			out[lane].SpanStart = m.start
+		}
+	}
+	return out
 }

@@ -16,7 +16,10 @@
 #                 layer whose counters are hit from every worker, and
 #                 shard, whose plans and splits are read from every leaf
 #                 slot (core's TestShardDeterminism drives the sharded
-#                 pipeline itself at 1/2/8 workers under -race)
+#                 pipeline itself at 1/2/8 workers under -race), the
+#                 prom exposition renderer, and opsrv, whose live-scrape
+#                 test hammers /metrics, /healthz and /tracez from a
+#                 scraper goroutine while a full 19test9m run routes
 #   lint        — fastgrlint, the static invariant net (determinism +
 #                 passive observability + recover-hygiene contracts), gofmt
 #                 verification on
@@ -34,6 +37,11 @@
 #                 vs monolithic on the largest harness design and fails
 #                 if the K=4 peak-heap delta exceeds half the monolithic
 #                 one or quality drifts more than 10%
+#   bench-regress — regression watchdog: benchgen -regress re-validates
+#                 every BENCH_*.json just regenerated above against its
+#                 own recorded gates and diffs the gated metrics against
+#                 the committed HEAD baselines (refusing cross-host or
+#                 cross-schema comparisons; drift only warns)
 #
 # Every step runs even after a failure, and the trailer prints one
 # PASS/FAIL line per step so a red build is attributable at a glance.
@@ -59,13 +67,14 @@ $name: FAIL"
 step vet        go vet -tests=true ./...
 step build      go build ./...
 step test       go test ./...
-step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/sched ./internal/maze ./internal/grid ./internal/fault ./internal/shard
+step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/obs/prom ./internal/obs/opsrv ./internal/sched ./internal/maze ./internal/grid ./internal/fault ./internal/shard
 step lint       go run ./cmd/fastgrlint -fmt ./...
 step bench-obs  go run ./cmd/benchgen -obs -o BENCH_obs.json
 step bench-lint go run ./cmd/benchgen -lint -o BENCH_lint.json
 step bench-maze go run ./cmd/benchgen -maze -o BENCH_maze.json
 step bench-fault go run ./cmd/benchgen -fault -o BENCH_fault.json
 step bench-shard go run ./cmd/benchgen -shard -o BENCH_shard.json
+step bench-regress go run ./cmd/benchgen -regress
 
 echo "== tier1 summary ==$summary"
 exit $fail
