@@ -22,9 +22,35 @@ type lintReport struct {
 	WallMs      float64 `json:"wall_ms"`
 	FilesPerSec float64 `json:"files_per_sec"`
 
+	// Per-phase cost: load/flowgraph plus one entry per enabled check,
+	// so a slow check is identifiable without re-profiling.
+	Checks map[string]lintCheckStat `json:"checks"`
+
+	// The runtime gate: wall_ms against the frozen pre-flow-layer
+	// baseline. -regress fails the build when the full suite costs more
+	// than max_wall_ratio times the old one.
+	BaselineWallMs float64 `json:"baseline_wall_ms"`
+	WallRatio      float64 `json:"wall_ratio"`
+	MaxWallRatio   float64 `json:"max_wall_ratio"`
+
 	// Meta fingerprints the measurement host for -regress (stamp.go).
 	Meta BenchMeta `json:"meta"`
 }
+
+// lintCheckStat is one phase's share of the run.
+type lintCheckStat struct {
+	WallMs   float64 `json:"wall_ms"`
+	Findings int     `json:"findings"`
+}
+
+// lintBaselineWallMs is the measured full-suite wall time before the
+// interprocedural flow layer existed (the PR 3 artifact), the
+// denominator of the runtime gate.
+const lintBaselineWallMs = 2958.791
+
+// lintMaxWallRatio caps how much the flow layer may slow the full
+// suite relative to that baseline.
+const lintMaxWallRatio = 2.0
 
 // runLint measures one cold run of the full suite (loading, type
 // checking and every check, gofmt verification included) over the whole
@@ -60,13 +86,20 @@ func runLint(out string) error {
 	}
 
 	rep := lintReport{
-		Packages: len(dirs),
-		Files:    files,
-		Findings: len(findings),
-		WallMs:   float64(wall.Microseconds()) / 1e3,
+		Packages:       len(dirs),
+		Files:          files,
+		Findings:       len(findings),
+		WallMs:         float64(wall.Microseconds()) / 1e3,
+		Checks:         map[string]lintCheckStat{},
+		BaselineWallMs: lintBaselineWallMs,
+		MaxWallRatio:   lintMaxWallRatio,
 	}
 	if wall > 0 {
 		rep.FilesPerSec = float64(files) / wall.Seconds()
+	}
+	rep.WallRatio = rep.WallMs / lintBaselineWallMs
+	for _, st := range runner.Stats() {
+		rep.Checks[st.Check] = lintCheckStat{WallMs: st.WallMs, Findings: st.Findings}
 	}
 	rep.Meta = currentBenchMeta()
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -81,8 +114,12 @@ func runLint(out string) error {
 	} else if err := atomicio.WriteFile(out, data); err != nil {
 		return err
 	}
-	fmt.Printf("lint: %d packages, %d files, %d findings in %.0fms (%.0f files/sec)\n",
-		rep.Packages, rep.Files, rep.Findings, rep.WallMs, rep.FilesPerSec)
+	fmt.Printf("lint: %d packages, %d files, %d findings in %.0fms (%.0f files/sec, %.2fx baseline)\n",
+		rep.Packages, rep.Files, rep.Findings, rep.WallMs, rep.FilesPerSec, rep.WallRatio)
+	if rep.WallRatio > lintMaxWallRatio {
+		return fmt.Errorf("lint suite took %.0fms, %.2fx the %.0fms baseline (limit %.1fx)",
+			rep.WallMs, rep.WallRatio, rep.BaselineWallMs, lintMaxWallRatio)
+	}
 	return nil
 }
 

@@ -52,7 +52,9 @@ var benchGates = map[string][]gate{
 		{metric: "score_drift_pct", limit: "max_score_drift_pct", dir: atMost},
 	},
 	"BENCH_hostpar.json": nil,
-	"BENCH_lint.json":    nil,
+	"BENCH_lint.json": {
+		{metric: "wall_ratio", limit: "max_wall_ratio", dir: atMost},
+	},
 }
 
 // driftWarnPct is how much a gated metric may move in the bad direction

@@ -4,10 +4,13 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"fastgr/internal/atomicio"
 	"fastgr/internal/core"
 	"fastgr/internal/design"
 	"fastgr/internal/route"
@@ -27,21 +30,22 @@ func main() {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		panic(err)
 	}
-	write := func(name string, fn func(f *os.File) error) {
+	// Render to memory and land the bytes through the crash-safe writer:
+	// an interrupted run never leaves a torn SVG in out/.
+	write := func(name string, fn func(w io.Writer) error) {
 		path := filepath.Join(outDir, name)
-		f, err := os.Create(path)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
 			panic(err)
 		}
-		defer f.Close()
-		if err := fn(f); err != nil {
+		if err := atomicio.WriteFile(path, buf.Bytes()); err != nil {
 			panic(err)
 		}
 		fmt.Println("wrote", path)
 	}
 
 	// 1. Congestion heat map of the routed chip.
-	write("congestion.svg", func(f *os.File) error {
+	write("congestion.svg", func(f io.Writer) error {
 		return viz.WriteCongestionSVG(f, res.Grid)
 	})
 
@@ -53,16 +57,16 @@ func main() {
 			big = n
 		}
 	}
-	write("tree.svg", func(f *os.File) error {
+	write("tree.svg", func(f io.Writer) error {
 		return viz.WriteTreeSVG(f, d.GridW, d.GridH, res.Trees[big.ID])
 	})
-	write("net.svg", func(f *os.File) error {
+	write("net.svg", func(f io.Writer) error {
 		pins := route.PinTerminals(res.Trees[big.ID])
 		return viz.WriteRouteSVG(f, res.Grid, []*route.NetRoute{res.Routes[big.ID]}, pins)
 	})
 
 	// 3. Every net at once — the full routing plan.
-	write("all_nets.svg", func(f *os.File) error {
+	write("all_nets.svg", func(f io.Writer) error {
 		return viz.WriteRouteSVG(f, res.Grid, res.Routes, nil)
 	})
 

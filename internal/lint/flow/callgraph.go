@@ -1,0 +1,394 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The module-wide call graph. Every function declaration and every
+// function literal in the analyzed packages becomes one node. Edges are
+// deliberately an over-approximation of "may call":
+//
+//   - a static call F() or recv.M() adds an edge to the resolved callee;
+//   - any OTHER reference to a function — assignment, argument, bare
+//     mention — adds a "value reference" edge from the referencing
+//     function, because once a function escapes as a value we assume it
+//     can run wherever the value travels (this subsumes higher-order
+//     executors without modeling their internals);
+//   - a function literal gets a reference edge from its lexical owner.
+//
+// Dynamic calls through interface methods resolve to the interface
+// method object (good enough for key matching); calls through
+// function-typed variables are resolved via varFuncs, a flow-insensitive
+// map from variable objects to every function value ever assigned to
+// them.
+
+// Node is one function in the graph: either a declaration (Fn set) or a
+// literal (Lit set).
+type Node struct {
+	Pkg  *Pkg
+	Fn   *types.Func  // nil for literals
+	Lit  *ast.FuncLit // nil for declarations
+	Body *ast.BlockStmt
+	Sig  *types.Signature
+	Pos  token.Pos
+	Name string // human-readable: funcKey or "ownerKey$lit"
+
+	callees []*Node // static-call and value-reference successors
+}
+
+// CallSite is one static call of a Node, kept for obligation analysis
+// (e.g. "this function warms a cache passed in as parameter 0 — check
+// every caller's argument").
+type CallSite struct {
+	From *Node
+	Pkg  *Pkg
+	Call *ast.CallExpr
+}
+
+// Graph is the built call graph plus the worker-reachability closure.
+type Graph struct {
+	Nodes    []*Node
+	ByFunc   map[*types.Func]*Node
+	ByLit    map[*ast.FuncLit]*Node
+	VarFuncs map[types.Object][]*Node
+	Sites    map[*Node][]CallSite
+
+	roots map[*Node]bool
+	reach map[*Node]bool
+}
+
+// Reachable reports whether n may execute in worker context: it is a
+// spawn-site callback or transitively called/referenced by one.
+func (g *Graph) Reachable(n *Node) bool { return g.reach[n] }
+
+// Root reports whether n itself is a spawn-site callback.
+func (g *Graph) Root(n *Node) bool { return g.roots[n] }
+
+type pendingEdge struct {
+	from   *Node
+	callee *types.Func
+	call   *ast.CallExpr
+	pkg    *Pkg
+}
+
+type spawnSite struct {
+	pkg  *Pkg
+	args []ast.Expr
+}
+
+type pendingVar struct {
+	pkg *Pkg
+	obj *types.Var
+	rhs ast.Expr
+}
+
+// Build constructs the graph over every package and computes worker
+// reachability from cfg.SpawnFuncs callback arguments.
+func Build(pkgs []*Pkg, cfg Config) *Graph {
+	g := &Graph{
+		ByFunc:   map[*types.Func]*Node{},
+		ByLit:    map[*ast.FuncLit]*Node{},
+		VarFuncs: map[types.Object][]*Node{},
+		Sites:    map[*Node][]CallSite{},
+		roots:    map[*Node]bool{},
+		reach:    map[*Node]bool{},
+	}
+
+	// Pass A: register every declaration so cross-package static calls
+	// can link no matter the package visit order.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &Node{
+					Pkg:  p,
+					Fn:   fn,
+					Body: fd.Body,
+					Pos:  fd.Pos(),
+					Name: funcKey(fn),
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					n.Sig = sig
+				}
+				g.Nodes = append(g.Nodes, n)
+				g.ByFunc[fn] = n
+			}
+		}
+	}
+
+	// Pass B: walk every file once with an owner stack, creating literal
+	// nodes, collecting edges, var→func assignments and spawn sites.
+	var pending []pendingEdge
+	var spawns []spawnSite
+	var pvars []pendingVar
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			w := &graphWalker{g: g, pkg: p, callFun: map[ast.Node]bool{}, pvars: &pvars}
+			var stack []ast.Node
+			ast.Inspect(f, func(node ast.Node) bool {
+				if node == nil {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					switch top.(type) {
+					case *ast.FuncDecl, *ast.FuncLit:
+						w.owners = w.owners[:len(w.owners)-1]
+					}
+					return true
+				}
+				stack = append(stack, node)
+				switch n := node.(type) {
+				case *ast.FuncDecl:
+					fn, _ := p.Info.Defs[n.Name].(*types.Func)
+					w.owners = append(w.owners, g.ByFunc[fn]) // nil if unresolved
+				case *ast.FuncLit:
+					ln := &Node{
+						Pkg:  p,
+						Lit:  n,
+						Body: n.Body,
+						Pos:  n.Pos(),
+						Name: w.ownerName() + "$lit",
+					}
+					if sig, ok := p.Info.TypeOf(n).(*types.Signature); ok {
+						ln.Sig = sig
+					}
+					g.Nodes = append(g.Nodes, ln)
+					g.ByLit[n] = ln
+					if o := w.owner(); o != nil {
+						o.callees = append(o.callees, ln)
+					}
+					w.owners = append(w.owners, ln)
+				case *ast.CallExpr:
+					w.markCallFun(n)
+					if callee := calleeOf(p, n); callee != nil {
+						if from := w.owner(); from != nil {
+							pending = append(pending, pendingEdge{from, callee, n, p})
+						}
+						if matchAnyPattern(cfg.SpawnFuncs, funcKey(callee)) {
+							spawns = append(spawns, spawnSite{p, n.Args})
+						}
+					}
+				case *ast.Ident:
+					w.identRef(n)
+				case *ast.SelectorExpr:
+					w.selectorRef(n)
+				case *ast.AssignStmt:
+					w.recordVarFuncs(n.Lhs, n.Rhs)
+				case *ast.ValueSpec:
+					lhs := make([]ast.Expr, len(n.Names))
+					for i, id := range n.Names {
+						lhs[i] = id
+					}
+					w.recordVarFuncs(lhs, n.Values)
+				}
+				return true
+			})
+		}
+	}
+
+	// Resolve var→func assignments now that every literal node exists
+	// (an assignment is visited before the literal on its right side).
+	for _, pv := range pvars {
+		if nodes := g.resolveFuncValue(pv.pkg, pv.rhs); len(nodes) > 0 {
+			g.VarFuncs[pv.obj] = append(g.VarFuncs[pv.obj], nodes...)
+		}
+	}
+
+	// Link static edges and record call sites.
+	for _, e := range pending {
+		to := g.ByFunc[e.callee]
+		if to == nil {
+			continue // outside the analyzed module
+		}
+		e.from.callees = append(e.from.callees, to)
+		g.Sites[to] = append(g.Sites[to], CallSite{From: e.from, Pkg: e.pkg, Call: e.call})
+	}
+
+	// Mark roots: every function value passed to a spawn entry point.
+	for _, s := range spawns {
+		for _, arg := range s.args {
+			for _, n := range g.resolveFuncValue(s.pkg, arg) {
+				g.roots[n] = true
+			}
+		}
+	}
+
+	// BFS closure: anything a root calls or references may run in worker
+	// context. Seeding walks g.Nodes, not the root set, so the closure
+	// (and with it finding order) never depends on map iteration order —
+	// the analyzer holds itself to the determinism bar it enforces.
+	queue := make([]*Node, 0, len(g.roots))
+	for _, n := range g.Nodes {
+		if g.roots[n] {
+			g.reach[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.callees {
+			if !g.reach[c] {
+				g.reach[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	return g
+}
+
+// resolveFuncValue maps an expression to the graph nodes it may denote
+// as a function value: a literal, a named function, or a variable via
+// VarFuncs.
+func (g *Graph) resolveFuncValue(p *Pkg, e ast.Expr) []*Node {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if n := g.ByLit[e]; n != nil {
+			return []*Node{n}
+		}
+	case *ast.Ident:
+		switch obj := p.Info.Uses[e].(type) {
+		case *types.Func:
+			if n := g.ByFunc[obj]; n != nil {
+				return []*Node{n}
+			}
+		case *types.Var:
+			return g.VarFuncs[obj]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok {
+			if n := g.ByFunc[fn]; n != nil {
+				return []*Node{n}
+			}
+		}
+		if sel, ok := p.Info.Selections[e]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if n := g.ByFunc[fn]; n != nil {
+					return []*Node{n}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// graphWalker holds per-file walk state.
+type graphWalker struct {
+	g      *Graph
+	pkg    *Pkg
+	owners []*Node
+	// callFun marks the syntax nodes that are the callee position of a
+	// call, so the ident/selector visits below can tell a direct call
+	// from a value reference.
+	callFun map[ast.Node]bool
+	pvars   *[]pendingVar
+}
+
+func (w *graphWalker) owner() *Node {
+	for i := len(w.owners) - 1; i >= 0; i-- {
+		if w.owners[i] != nil {
+			return w.owners[i]
+		}
+	}
+	return nil
+}
+
+func (w *graphWalker) ownerName() string {
+	if o := w.owner(); o != nil {
+		return o.Name
+	}
+	return w.pkg.Path + ".init"
+}
+
+func (w *graphWalker) markCallFun(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	w.callFun[fun] = true
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		w.callFun[sel.Sel] = true
+	}
+}
+
+// identRef adds a value-reference edge when an identifier mentions a
+// module function outside callee position.
+func (w *graphWalker) identRef(id *ast.Ident) {
+	if w.callFun[id] {
+		return
+	}
+	fn, ok := w.pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	to := w.g.ByFunc[fn]
+	if to == nil {
+		return
+	}
+	if o := w.owner(); o != nil {
+		o.callees = append(o.callees, to)
+	}
+}
+
+// selectorRef is identRef for qualified references (pkg.F, recv.Method
+// used as a value).
+func (w *graphWalker) selectorRef(sel *ast.SelectorExpr) {
+	if w.callFun[sel] || w.callFun[sel.Sel] {
+		return
+	}
+	// sel.Sel is also visited as a plain Ident; identRef covers the
+	// pkg.F case through Uses. Method values (recv.Method) resolve via
+	// Selections only.
+	if s, ok := w.pkg.Info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			if to := w.g.ByFunc[fn]; to != nil {
+				if o := w.owner(); o != nil {
+					o.callees = append(o.callees, to)
+				}
+			}
+		}
+	}
+}
+
+// recordVarFuncs records every function value assigned to a variable,
+// flow-insensitively: `f := work; f = other` leaves f mapping to both.
+func (w *graphWalker) recordVarFuncs(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return // multi-value call assignment; no syntactic func values
+	}
+	for i, l := range lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = w.pkg.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		*w.pvars = append(*w.pvars, pendingVar{w.pkg, v, rhs[i]})
+	}
+}
+
+// WalkBody walks n's own body, NOT descending into nested function
+// literals — those are separate nodes. The callback follows ast.Inspect
+// semantics.
+func (n *Node) WalkBody(fn func(ast.Node) bool) {
+	if n.Body == nil {
+		return
+	}
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		return fn(node)
+	})
+}

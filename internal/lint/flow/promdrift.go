@@ -1,0 +1,169 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// CheckPromDriftFn keeps the metrics registry and the Prometheus
+// exposition table in lock-step, in both directions:
+//
+//  1. every metric name reaching a registration site (a call to one of
+//     Config.RegistryFuncs — Registry.Counter/Gauge/Histogram) must
+//     constant-propagate to a string that is a key of the mapping table
+//     (Config.MetricTablePkg's MetricTableVar, internal/obs/names.go's
+//     promTable in the real tree). An unmapped name still reaches the
+//     scrape through the sanitized fallback family, but silently, with
+//     generic help and no label splitting — exactly the drift this
+//     check exists to catch. A name the analyzer cannot reduce to a
+//     compile-time constant is a finding too: a dynamic name can never
+//     be proven mapped.
+//  2. every table entry must have a live registration site somewhere in
+//     the analyzed packages — an orphan entry is a family the scrape
+//     promises but never populates, which is how dashboards rot.
+//
+// The whole-table direction only runs when the analysis scope includes
+// the table's package AND at least one registration site; a partial-tree
+// invocation (fastgrlint internal/obs) must not report every metric in
+// the module as orphaned.
+func CheckPromDriftFn(pkgs []*Pkg, cfg Config) []Finding {
+	if len(cfg.RegistryFuncs) == 0 {
+		return nil
+	}
+	var tablePkg *Pkg
+	for _, p := range pkgs {
+		if p.Path == cfg.MetricTablePkg {
+			tablePkg = p
+		}
+	}
+	if tablePkg == nil {
+		return nil // table out of scope: nothing to verify against
+	}
+
+	type tableEntry struct {
+		pos  token.Pos
+		name string
+	}
+	var entries []tableEntry
+	tableFound := false
+	for _, f := range tablePkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != cfg.MetricTableVar || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					tableFound = true
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if s, ok := constString(tablePkg, kv.Key); ok {
+							entries = append(entries, tableEntry{kv.Key.Pos(), s})
+						}
+					}
+				}
+			}
+		}
+	}
+	if !tableFound {
+		return []Finding{{
+			Pos:   tablePkg.Fset.Position(tablePkg.Files[0].Pos()),
+			Check: CheckPromDrift,
+			Msg: fmt.Sprintf("metric mapping table %s.%s not found (promdrift has nothing to verify against)",
+				cfg.MetricTablePkg, cfg.MetricTableVar),
+			Remedy: "restore the table variable or point the flow policy at its new home",
+		}}
+	}
+	mapped := map[string]bool{}
+	for _, e := range entries {
+		mapped[e.name] = true
+	}
+
+	// Registration sites, in package/file order so findings sort stably.
+	var findings []Finding
+	used := map[string]bool{}
+	sawSite := false
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(p, call)
+				if callee == nil || !matchAnyPattern(cfg.RegistryFuncs, funcKey(callee)) {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				sawSite = true
+				name, ok := constString(p, call.Args[0])
+				if !ok {
+					findings = append(findings, Finding{
+						Pos:   p.Fset.Position(call.Args[0].Pos()),
+						Check: CheckPromDrift,
+						Msg: fmt.Sprintf("metric name passed to %s does not constant-propagate; it cannot be proven to map through %s.%s",
+							funcKey(callee), cfg.MetricTablePkg, cfg.MetricTableVar),
+						Remedy: "register metrics under shared dotted-name constants so the exposition mapping is checkable",
+					})
+					return true
+				}
+				used[name] = true
+				if !mapped[name] {
+					findings = append(findings, Finding{
+						Pos:   p.Fset.Position(call.Args[0].Pos()),
+						Check: CheckPromDrift,
+						Msg: fmt.Sprintf("dotted metric %q has no entry in the %s.%s exposition table (the scrape degrades to the sanitized fallback family)",
+							name, cfg.MetricTablePkg, cfg.MetricTableVar),
+						Remedy: "add a mapping with family, help and labels so the series is a first-class scrape citizen",
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	// Orphan direction: table entries with no live registration site.
+	if sawSite {
+		for _, e := range entries {
+			if !used[e.name] {
+				findings = append(findings, Finding{
+					Pos:   tablePkg.Fset.Position(e.pos),
+					Check: CheckPromDrift,
+					Msg: fmt.Sprintf("table entry %q has no live registration site: the exposition promises a family nothing populates",
+						e.name),
+					Remedy: "delete the orphan entry, or restore the metric that used to feed it",
+				})
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// constString reduces an expression to its compile-time string value via
+// the type checker's constant folding.
+func constString(p *Pkg, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -10,24 +10,45 @@
 //   - passive observability — package obs may time things, but nil
 //     handles are no-ops and the wall clock never feeds a result.
 //
+// The per-function checks are complemented by the interprocedural layer
+// in the flow subpackage: a module-wide call graph with a forward taint
+// engine (walltaint), a tree-wide crash-safe-write check (writeroute), a
+// worker-reachability engine (shardisolation) and a metrics/exposition
+// consistency check (promdrift). The flow checks are cross-package by
+// construction, so their suppressions match by owning file, like
+// atomic-consistency.
+//
 // Checks report Findings; a finding can be suppressed with a
 //
 //	//lint:ignore <check> <reason>
 //
-// comment on, or on the line above, the offending line. Suppressions
-// are themselves verified: one without a reason, or one that matches no
-// finding, is an error — the suppression table can only shrink.
+// comment. A suppression covers the line it sits on and — when the next
+// line opens a declaration or statement — that whole node, so one
+// comment on a func declaration covers every finding inside it. A
+//
+//	//lint:file-ignore <check> <reason>
+//
+// comment anywhere in a file covers every finding of that check in the
+// file. Suppressions are themselves verified: one without a reason, or
+// one that matches no finding, is an error — the suppression table can
+// only shrink.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"fastgr/internal/lint/flow"
+	"fastgr/internal/obs"
 )
 
 // Check names. The policy table and suppression comments refer to these.
+// The last four are the interprocedural flow checks, re-exported from
+// the flow subpackage so callers need only this package's vocabulary.
 const (
 	CheckDetwall     = "detwall"
 	CheckDetmap      = "detmap"
@@ -37,7 +58,23 @@ const (
 	CheckAtomic      = "atomic-consistency"
 	CheckSuppression = "suppression" // meta-check: malformed or unused //lint:ignore
 	CheckGofmt       = "gofmt"
+
+	CheckWallTaint      = flow.CheckWallTaint
+	CheckWriteRoute     = flow.CheckWriteRoute
+	CheckShardIsolation = flow.CheckShardIsolation
+	CheckPromDrift      = flow.CheckPromDrift
 )
+
+// crossPackageChecks are the checks whose findings a single package's
+// pass cannot produce: they are matched against suppressions by the file
+// that owns each finding, after every package is analyzed.
+var crossPackageChecks = map[string]bool{
+	CheckAtomic:         true,
+	CheckWallTaint:      true,
+	CheckWriteRoute:     true,
+	CheckShardIsolation: true,
+	CheckPromDrift:      true,
+}
 
 // Finding is one rule violation at a position.
 type Finding struct {
@@ -82,6 +119,16 @@ func sortFindings(fs []Finding) {
 	})
 }
 
+// CheckStat is the cost and yield of one analysis phase: the named
+// checks, plus "load" (parsing + type checking) and "flowgraph" (call
+// graph construction shared by the flow checks). Findings counts are
+// post-suppression — what a run actually reports.
+type CheckStat struct {
+	Check    string
+	WallMs   float64
+	Findings int
+}
+
 // Runner applies the policy table to a set of packages and returns the
 // surviving findings.
 type Runner struct {
@@ -90,56 +137,144 @@ type Runner struct {
 	// Gofmt additionally verifies that every .go file (tests included)
 	// is gofmt-formatted — the driver's -fmt flag.
 	Gofmt bool
+
+	statMs map[string]float64
+	counts map[string]int
+}
+
+// Stats returns per-phase wall time and finding counts for the last Run,
+// sorted by phase name. Timing goes through obs.StartStopwatch — the
+// analyzer obeys the detwall contract it enforces.
+func (r *Runner) Stats() []CheckStat {
+	keys := map[string]bool{}
+	for k := range r.statMs {
+		keys[k] = true
+	}
+	for k := range r.counts {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]CheckStat, 0, len(names))
+	for _, k := range names {
+		out = append(out, CheckStat{Check: k, WallMs: r.statMs[k], Findings: r.counts[k]})
+	}
+	return out
 }
 
 // Run lints the packages matched by the patterns (driver syntax: a
 // directory, or dir/... for a recursive walk) and returns all findings,
 // sorted by position. An empty slice means the tree is clean.
 func (r *Runner) Run(patterns ...string) ([]Finding, error) {
-	dirs, err := r.Loader.PackageDirs(patterns)
-	if err != nil {
-		return nil, err
+	r.statMs = map[string]float64{}
+	r.counts = map[string]int{}
+	timed := func(phase string, fn func() []Finding) []Finding {
+		sw := obs.StartStopwatch()
+		fs := fn()
+		r.statMs[phase] += float64(sw.Elapsed().Microseconds()) / 1e3
+		return fs
 	}
+
 	var pkgs []*Package
-	for _, dir := range dirs {
-		p, err := r.Loader.LoadDir(dir)
-		if err != nil {
-			return nil, err
+	var loadErr error
+	timed("load", func() []Finding {
+		var dirs []string
+		if dirs, loadErr = r.Loader.PackageDirs(patterns); loadErr != nil {
+			return nil
 		}
-		pkgs = append(pkgs, p)
+		for _, dir := range dirs {
+			p, err := r.Loader.LoadDir(dir)
+			if err != nil {
+				loadErr = err
+				return nil
+			}
+			pkgs = append(pkgs, p)
+		}
+		return nil
+	})
+	if loadErr != nil {
+		return nil, loadErr
 	}
 
 	var findings []Finding
 	for _, p := range pkgs {
+		p := p
 		var raw []Finding
 		if r.Policy.detwallApplies(p.Path) {
-			raw = append(raw, checkDetwall(p)...)
+			raw = append(raw, timed(CheckDetwall, func() []Finding { return checkDetwall(p) })...)
 		}
 		if r.Policy.detmapApplies(p.Path) {
-			raw = append(raw, checkDetmap(p)...)
+			raw = append(raw, timed(CheckDetmap, func() []Finding { return checkDetmap(p) })...)
 		}
 		if !r.Policy.goroutineAllowed(p.Path) {
-			raw = append(raw, checkGoroutine(p)...)
+			raw = append(raw, timed(CheckGoroutine, func() []Finding { return checkGoroutine(p) })...)
 		}
 		if !r.Policy.recoverAllowed(p.Path) {
-			raw = append(raw, checkRecover(p)...)
+			raw = append(raw, timed(CheckRecover, func() []Finding { return checkRecover(p) })...)
 		}
 		if r.Policy.nilsafeApplies(p.Path) {
-			raw = append(raw, checkNilsafe(p)...)
+			raw = append(raw, timed(CheckObsNilsafe, func() []Finding { return checkNilsafe(p) })...)
 		}
 		findings = append(findings, applySuppressions(p, raw)...)
 	}
 
-	// atomic-consistency is cross-package: a field atomically written in
-	// one package and plainly read in another is exactly the bug class.
-	atomicRaw := checkAtomic(pkgs)
-	findings = append(findings, applySuppressionsByFile(pkgs, atomicRaw)...)
+	// Cross-package checks: atomic-consistency (a field atomically
+	// written in one package and plainly read in another is exactly the
+	// bug class) plus the interprocedural flow layer.
+	cross := timed(CheckAtomic, func() []Finding { return checkAtomic(pkgs) })
+	if r.Policy.Flow.Enabled() {
+		fpkgs := make([]*flow.Pkg, len(pkgs))
+		for i, p := range pkgs {
+			fpkgs[i] = &flow.Pkg{Path: p.Path, Fset: p.Fset, Files: p.Files, Info: p.Info, Types: p.Types}
+		}
+		var g *flow.Graph
+		timed("flowgraph", func() []Finding {
+			g = flow.Build(fpkgs, r.Policy.Flow)
+			return nil
+		})
+		cross = append(cross, timed(CheckWallTaint, func() []Finding {
+			return flowFindings(flow.CheckWallTaintFn(fpkgs, g, r.Policy.Flow))
+		})...)
+		cross = append(cross, timed(CheckWriteRoute, func() []Finding {
+			return flowFindings(flow.CheckWriteRouteFn(fpkgs, r.Policy.Flow))
+		})...)
+		cross = append(cross, timed(CheckShardIsolation, func() []Finding {
+			return flowFindings(flow.CheckShardIsolationFn(fpkgs, g, r.Policy.Flow))
+		})...)
+		cross = append(cross, timed(CheckPromDrift, func() []Finding {
+			return flowFindings(flow.CheckPromDriftFn(fpkgs, r.Policy.Flow))
+		})...)
+	}
+	findings = append(findings, applySuppressionsByFile(pkgs, cross)...)
 
 	if r.Gofmt {
-		findings = append(findings, checkGofmt(dirs)...)
+		findings = append(findings, timed(CheckGofmt, func() []Finding { return checkGofmt(pkgsDirs(pkgs)) })...)
 	}
 	sortFindings(findings)
+	for _, f := range findings {
+		r.counts[f.Check]++
+	}
 	return findings, nil
+}
+
+func pkgsDirs(pkgs []*Package) []string {
+	dirs := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		dirs = append(dirs, p.Dir)
+	}
+	return dirs
+}
+
+// flowFindings mirrors flow findings into this package's Finding type.
+func flowFindings(fs []flow.Finding) []Finding {
+	out := make([]Finding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, Finding{Pos: f.Pos, Check: f.Check, Msg: f.Msg, Remedy: f.Remedy})
+	}
+	return out
 }
 
 // applySuppressions matches a package's raw findings against its
@@ -148,7 +283,7 @@ func (r *Runner) Run(patterns ...string) ([]Finding, error) {
 func applySuppressions(p *Package, raw []Finding) []Finding {
 	var sups []*suppression
 	for _, s := range collectSuppressions(p) {
-		if s.check != CheckAtomic { // cross-package checks match later
+		if !crossPackageChecks[s.check] { // cross-package checks match later
 			sups = append(sups, s)
 		}
 	}
@@ -156,7 +291,7 @@ func applySuppressions(p *Package, raw []Finding) []Finding {
 }
 
 // applySuppressionsByFile applies suppressions for findings produced by
-// a cross-package check: each finding is matched against the
+// the cross-package checks: each finding is matched against the
 // suppressions of the package that owns its file. Suppressions that a
 // per-package pass already consumed are not re-collected here — only
 // suppressions naming the cross-package checks are considered.
@@ -165,7 +300,7 @@ func applySuppressionsByFile(pkgs []*Package, raw []Finding) []Finding {
 	for _, p := range pkgs {
 		var sups []*suppression
 		for _, s := range collectSuppressions(p) {
-			if s.check == CheckAtomic {
+			if crossPackageChecks[s.check] {
 				sups = append(sups, s)
 			}
 		}
@@ -183,32 +318,52 @@ func applySuppressionsByFile(pkgs []*Package, raw []Finding) []Finding {
 	return out
 }
 
-// suppression is one parsed //lint:ignore comment.
+// suppression is one parsed //lint:ignore or //lint:file-ignore comment.
 type suppression struct {
-	pos    token.Position
-	check  string
-	reason string
-	used   bool
+	pos      token.Position
+	check    string
+	reason   string
+	fileWide bool // //lint:file-ignore: covers the whole file
+	endLine  int  // last covered line; the full span of the decl/stmt the comment annotates
+	used     bool
 }
 
-// collectSuppressions parses every //lint:ignore comment of the
-// package's non-test files.
+// collectSuppressions parses every //lint:ignore and //lint:file-ignore
+// comment of the package's non-test files and computes each line
+// suppression's coverage span: the comment's own line through the end of
+// the declaration or statement opening on that line or the next — so a
+// suppression above a func declaration covers the whole function, and
+// one above a loop covers the whole loop.
 func collectSuppressions(p *Package) []*suppression {
 	var sups []*suppression
 	for _, f := range p.Files {
+		spans := nodeSpans(p, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				fileWide := false
 				rest, ok := strings.CutPrefix(text, "lint:ignore")
 				if !ok {
-					continue
+					if rest, ok = strings.CutPrefix(text, "lint:file-ignore"); !ok {
+						continue
+					}
+					fileWide = true
 				}
-				s := &suppression{pos: p.Fset.Position(c.Pos())}
+				s := &suppression{pos: p.Fset.Position(c.Pos()), fileWide: fileWide}
 				fields := strings.Fields(rest)
 				if len(fields) > 0 {
 					s.check = fields[0]
 					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				if !fileWide {
+					line := s.pos.Line
+					s.endLine = line + 1
+					if end := spans[line]; end > s.endLine {
+						s.endLine = end
+					}
+					if end := spans[line+1]; end > s.endLine {
+						s.endLine = end
+					}
 				}
 				sups = append(sups, s)
 			}
@@ -217,9 +372,31 @@ func collectSuppressions(p *Package) []*suppression {
 	return sups
 }
 
-// matchSuppressions drops findings covered by a suppression for the
-// same check on the same or the preceding line, then reports malformed
-// (no reason) and unused suppressions as findings.
+// nodeSpans maps each line on which a declaration or statement starts to
+// the last line of the outermost such node — the coverage a suppression
+// annotating that line earns. The file node itself is excluded (file
+// scope is what //lint:file-ignore is for).
+func nodeSpans(p *Package, f *ast.File) map[int]int {
+	spans := map[int]int{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.File, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		start := p.Fset.Position(n.Pos()).Line
+		end := p.Fset.Position(n.End()).Line
+		if end > spans[start] {
+			spans[start] = end
+		}
+		return true
+	})
+	return spans
+}
+
+// matchSuppressions drops findings covered by a suppression for the same
+// check — within its line span, or anywhere in the file for a
+// file-ignore — then reports malformed (no reason) and unused
+// suppressions as findings.
 func matchSuppressions(sups []*suppression, raw []Finding) []Finding {
 	var out []Finding
 	for _, f := range raw {
@@ -228,7 +405,7 @@ func matchSuppressions(sups []*suppression, raw []Finding) []Finding {
 			if s.check != f.Check || s.pos.Filename != f.Pos.Filename {
 				continue
 			}
-			if s.pos.Line == f.Pos.Line || s.pos.Line == f.Pos.Line-1 {
+			if s.fileWide || (f.Pos.Line >= s.pos.Line && f.Pos.Line <= s.endLine) {
 				s.used = true
 				suppressed = true
 			}
@@ -238,19 +415,30 @@ func matchSuppressions(sups []*suppression, raw []Finding) []Finding {
 		}
 	}
 	for _, s := range sups {
+		form := "//lint:ignore"
+		if s.fileWide {
+			form = "//lint:file-ignore"
+		}
 		switch {
 		case s.check == "" || s.reason == "":
 			out = append(out, Finding{
 				Pos:    s.pos,
 				Check:  CheckSuppression,
-				Msg:    "malformed suppression: want //lint:ignore <check> <reason>",
+				Msg:    fmt.Sprintf("malformed suppression: want %s <check> <reason>", form),
 				Remedy: "state which check is silenced and why",
+			})
+		case !s.used && s.fileWide:
+			out = append(out, Finding{
+				Pos:    s.pos,
+				Check:  CheckSuppression,
+				Msg:    fmt.Sprintf("unused file-ignore for %q: no finding of that check in this file", s.check),
+				Remedy: "delete the comment; suppressions must be load-bearing",
 			})
 		case !s.used:
 			out = append(out, Finding{
 				Pos:    s.pos,
 				Check:  CheckSuppression,
-				Msg:    fmt.Sprintf("unused suppression for %q: no finding on this or the next line", s.check),
+				Msg:    fmt.Sprintf("unused suppression for %q: no finding in its scope (lines %d-%d)", s.check, s.pos.Line, s.endLine),
 				Remedy: "delete the comment; suppressions must be load-bearing",
 			})
 		}

@@ -189,6 +189,27 @@ func goFilesIn(dir string) ([]string, error) {
 	return names, nil
 }
 
+// DegradedImports lists the imports of p that resolved to placeholder
+// packages — the srcimporter failed and analysis degraded: the
+// syntactic checks still ran, but typed refinements (detmap's
+// per-iteration analysis, atomic-consistency's field resolution, the
+// flow engines' call graph) silently saw less than the whole truth. The
+// driver surfaces these as warnings so CI logs show reduced coverage
+// instead of a falsely clean run.
+func (l *Loader) DegradedImports(p *Package) []string {
+	if p.Types == nil {
+		return nil
+	}
+	var out []string
+	for _, imp := range p.Types.Imports() {
+		if l.stdErrs[imp.Path()] {
+			out = append(out, imp.Path())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TestGoFiles lists the _test.go files alongside a package (used only by
 // the gofmt check; the analyzers run on non-test files).
 func TestGoFiles(dir string) ([]string, error) {
@@ -235,8 +256,8 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 		if err == nil {
 			return pkg, nil
 		}
-		l.stdErrs[path] = true
 	}
+	l.stdErrs[path] = true
 	base := path
 	if i := strings.LastIndex(base, "/"); i >= 0 {
 		base = base[i+1:]

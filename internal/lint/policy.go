@@ -1,6 +1,10 @@
 package lint
 
-import "strings"
+import (
+	"strings"
+
+	"fastgr/internal/lint/flow"
+)
 
 // Policy is the per-package rule table: which packages each check
 // applies to. Paths are import paths; a trailing "/..." matches the
@@ -29,6 +33,10 @@ type Policy struct {
 	// which counts every recovery into the injected == recovered +
 	// degraded accounting equation and keeps retries deterministic.
 	RecoverAllowed []string
+	// Flow anchors the interprocedural checks (walltaint, writeroute,
+	// shardisolation, promdrift) to module-specific entry points and
+	// sanctioned patterns. A zero config disables the flow layer.
+	Flow flow.Config
 }
 
 // DefaultPolicy is the rule table for the fastgr module itself.
@@ -86,6 +94,77 @@ func DefaultPolicy() Policy {
 		RecoverAllowed: []string{
 			"fastgr/internal/fault",
 		},
+		Flow: DefaultFlowConfig(),
+	}
+}
+
+// DefaultFlowConfig anchors the interprocedural flow checks to the
+// fastgr module:
+//
+//   - walltaint: route, core and grid hold routed output and the data it
+//     is computed from; a wall-derived value crossing into them breaks
+//     the byte-identical contract the detwall exemptions (obs, par, cmd)
+//     were never meant to loosen. The *Wall columns of core.StageTimes
+//     and the journal's stage wall_ms are the documented host-time
+//     report carriers, explicitly excluded from the bit-identical
+//     contract (DESIGN.md "Modeled time vs. execution time"), so they
+//     are the sanctioned declassification points.
+//   - writeroute: internal/atomicio is the one crash-safe writer; every
+//     durable artifact write routes through it (PR 5's contract).
+//   - shardisolation: worker roots are the par pool's chunk callbacks
+//     (Pool.For/ForUnits and the package-level For convenience) and the
+//     taskflow task bodies. Workers may warm only WindowView-derived
+//     caches; Graph.WarmCostCache on a parent cache, journal emission
+//     and writes to the coordinator-owned report fields stay on the
+//     coordinator (DESIGN.md "Sharded routing and halo reconciliation").
+//   - promdrift: metric names registered through obs.Registry must map
+//     through the promTable in internal/obs/names.go, and every table
+//     entry must have a live registration site.
+func DefaultFlowConfig() flow.Config {
+	return flow.Config{
+		SinkPkgs: []string{
+			"fastgr/internal/route",
+			"fastgr/internal/core",
+			"fastgr/internal/grid",
+		},
+		SanctionedFields: []string{
+			"fastgr/internal/core.StageTimes.PlanWall",
+			"fastgr/internal/core.StageTimes.PatternWall",
+			"fastgr/internal/core.StageTimes.MazeWall",
+			"fastgr/internal/core.StageTimes.WallTotal",
+			"fastgr/internal/core.stageEvent.WallMs",
+		},
+		WriteAllowedPkgs: []string{
+			"fastgr/internal/atomicio",
+		},
+		SpawnFuncs: []string{
+			"fastgr/internal/par.Pool.For",
+			"fastgr/internal/par.Pool.ForUnits",
+			"fastgr/internal/par.For",
+			"fastgr/internal/taskflow.RunWorkers",
+			"fastgr/internal/taskflow.RunWorkersObserved",
+			"fastgr/internal/taskflow.RunWorkersFault",
+		},
+		WarmFuncs: []string{
+			"fastgr/internal/grid.Graph.WarmCostCache",
+		},
+		WindowFuncs: []string{
+			"fastgr/internal/grid.Graph.WindowView",
+		},
+		CoordFields: []string{
+			"fastgr/internal/core.Report.*",
+			"fastgr/internal/core.StageTimes.*",
+		},
+		JournalFuncs: []string{
+			"fastgr/internal/obs.Journal.Emit",
+		},
+		RegistryFuncs: []string{
+			"fastgr/internal/obs.Registry.Counter",
+			"fastgr/internal/obs.Registry.Gauge",
+			"fastgr/internal/obs.Registry.Histogram",
+		},
+		MetricTablePkg: "fastgr/internal/obs",
+		MetricTableVar: "promTable",
 	}
 }
 

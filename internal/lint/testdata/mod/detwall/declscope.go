@@ -1,0 +1,25 @@
+package detwall
+
+import "time"
+
+// DeclScoped pins declaration-scoped suppression: the one comment on
+// the func declaration covers every finding inside the body.
+//
+//lint:ignore detwall fixture: one decl-level comment covers both reads below
+func DeclScoped() time.Duration {
+	a := time.Now()
+	b := time.Now()
+	return b.Sub(a)
+}
+
+// Overlapping pins nested suppressions: the decl-level comment covers
+// the first read, the inner line comment covers the second. Both are
+// load-bearing, so neither is reported unused.
+//
+//lint:ignore detwall fixture: decl scope covers the first read
+func Overlapping() time.Duration {
+	a := time.Now()
+	//lint:ignore detwall fixture: inner line comment is also load-bearing
+	b := time.Now()
+	return b.Sub(a)
+}

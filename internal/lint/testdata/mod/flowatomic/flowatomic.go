@@ -1,0 +1,11 @@
+// Package flowatomic is the fixture stand-in for internal/atomicio:
+// the one package the flow policy allows to call the raw os write APIs.
+package flowatomic
+
+import "os"
+
+// WriteFile is the sanctioned durable writer; the raw call here is the
+// writeroute check's quiet case for an allowed package.
+func WriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,8 @@
+// Package flowjournal is the fixture run journal; the flow policy marks
+// Emit coordinator-only.
+package flowjournal
+
+// Emit records one run-journal event.
+func Emit(event string) {
+	_ = event
+}

@@ -1,0 +1,49 @@
+// Package flowprom exercises the promdrift check: a miniature metrics
+// registry plus the name-mapping table, with one seeded orphan entry,
+// one unmapped registration and one dynamic name.
+package flowprom
+
+// Registry is the fixture metrics registry; the flow policy names
+// Counter a registration site.
+type Registry struct {
+	n int
+}
+
+// Counter registers a counter under a dotted name.
+func (r *Registry) Counter(name string) int {
+	r.n++
+	return len(name)
+}
+
+// Metric name constants shared between registration sites and the
+// table — the checkable idiom.
+const (
+	MHits   = "cache.hits"
+	MMisses = "cache.misses"
+	MOrphan = "cache.orphan"
+)
+
+// table maps dotted metric names to exposition families. MOrphan is the
+// seeded orphan: no registration site uses it, and the golden file pins
+// the resulting finding.
+var table = map[string]string{
+	MHits:   "fixture_cache_hits_total",
+	MMisses: "fixture_cache_misses_total",
+	MOrphan: "fixture_cache_orphan_total",
+}
+
+// Register registers the two mapped metrics (clean), one unmapped name
+// and one dynamic name (both findings).
+func Register(r *Registry, suffix string) {
+	r.Counter(MHits)
+	r.Counter(MMisses)
+	r.Counter("cache.unmapped")
+	r.Counter("cache." + suffix)
+}
+
+// SuppressedRegister pins that a justified unmapped registration can be
+// suppressed.
+func SuppressedRegister(r *Registry) {
+	//lint:ignore promdrift fixture: deliberate unmapped metric, pinned by the golden file
+	r.Counter("cache.offbook")
+}

@@ -1,0 +1,95 @@
+// Package flowshard exercises the shardisolation check: callbacks
+// handed to flowexec.Run are worker roots, and everything they reach is
+// held to the worker discipline — no journal emission, no parent-cache
+// warming, no coordinator-field assignment. The coordinator-path twins
+// of each firing case pin that the same operations are legal outside
+// the reachability closure.
+package flowshard
+
+import (
+	"fixture/flowexec"
+	"fixture/flowjournal"
+	"fixture/flowsink"
+)
+
+// FireJournal spawns workers that emit journal events directly.
+func FireJournal() {
+	flowexec.Run(4, func(i int) {
+		flowjournal.Emit("worker started")
+	})
+}
+
+// warmIt warms whatever cache it is handed; worker-reachable through
+// FireWarmDriver's closure, so every contributing call site owes a
+// window-derived argument (the obligation chain).
+func warmIt(c *flowsink.Cache) {
+	c.Warm()
+}
+
+// FireWarmDriver captures its parameter into a spawned closure and
+// warms it there: the obligation escalates to every caller of
+// FireWarmDriver, worker-reachable or not.
+func FireWarmDriver(parent *flowsink.Cache) {
+	flowexec.Run(2, func(i int) {
+		warmIt(parent)
+	})
+}
+
+// Boot feeds FireWarmDriver a freshly built parent cache — the call
+// site the obligation chain flags.
+func Boot() {
+	parent := flowsink.NewCache()
+	FireWarmDriver(parent)
+}
+
+// holder hides a cache behind a struct field: provenance tracing stops
+// at field reads, so warming it in worker context flags at the warm.
+type holder struct {
+	cache *flowsink.Cache
+}
+
+// FireWarmField is the driver for the unknown-provenance warm.
+func FireWarmField(h *holder) {
+	flowexec.Run(2, func(i int) {
+		h.cache.Warm()
+	})
+}
+
+// CleanWindow warms a window view from worker context: sanctioned.
+func CleanWindow(parent *flowsink.Cache) {
+	flowexec.Run(2, func(i int) {
+		w := parent.Window()
+		w.Warm()
+	})
+}
+
+// FireCoord assigns a coordinator-owned field from worker context.
+func FireCoord(c *flowsink.Coord) {
+	flowexec.Run(2, func(i int) {
+		c.Total = i
+	})
+}
+
+// CleanSlots writes disjoint indexed slots: the sanctioned per-worker
+// accumulation pattern.
+func CleanSlots(c *flowsink.Coord) {
+	flowexec.Run(2, func(i int) {
+		c.Slots[i] = i
+	})
+}
+
+// CoordOnly warms the parent cache and journals on the coordinator
+// path: never worker-reachable, so nothing fires.
+func CoordOnly(parent *flowsink.Cache) {
+	parent.Warm()
+	flowjournal.Emit("reconciled")
+}
+
+// SuppressedJournal pins that a justified worker-side journal write can
+// be suppressed.
+func SuppressedJournal() {
+	flowexec.Run(1, func(i int) {
+		//lint:ignore shardisolation fixture: deliberate worker journal write, pinned by the golden file
+		flowjournal.Emit("worker checkpoint")
+	})
+}

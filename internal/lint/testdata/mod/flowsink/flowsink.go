@@ -1,0 +1,43 @@
+// Package flowsink is the fixture stand-in for the routing pipeline's
+// data packages (route/core/grid in the real tree): the flow policy
+// names it a walltaint sink, its Cache carries the warm/window pair the
+// shardisolation fixtures exercise, and Coord holds the
+// coordinator-owned fields workers must not assign.
+package flowsink
+
+// Report is routed output. Score is part of the bit-identical contract;
+// WallMs is the sanctioned host-wall column.
+type Report struct {
+	Score  int
+	WallMs float64
+}
+
+// Coord is coordinator-owned run state. Slots is sized one per worker
+// so indexed writes are the sanctioned disjoint-slot pattern.
+type Coord struct {
+	Total int
+	Slots []int
+}
+
+// Cache models the cost cache: Warm is the parent-warming entry point,
+// Window derives a worker-safe view.
+type Cache struct {
+	vals []float64
+}
+
+// NewCache builds a parent cache.
+func NewCache() *Cache { return &Cache{vals: make([]float64, 8)} }
+
+// Warm precomputes the cache (the flow policy's WarmFuncs anchor).
+func (c *Cache) Warm() {
+	for i := range c.vals {
+		c.vals[i] = float64(i)
+	}
+}
+
+// Window derives a view (the flow policy's WindowFuncs anchor).
+func (c *Cache) Window() *Cache { return &Cache{vals: c.vals} }
+
+// Consume is a sink-package entry point taking pipeline data; a
+// wall-derived argument here is a walltaint finding at the call site.
+func Consume(score float64) float64 { return score * 2 }

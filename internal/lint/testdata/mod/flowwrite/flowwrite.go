@@ -1,0 +1,62 @@
+// Package flowwrite exercises the writeroute check: raw durable writes
+// outside the allowed writer package fire; read-only opens, temp-path
+// scratch and writes routed through flowatomic stay quiet.
+package flowwrite
+
+import (
+	"os"
+	"path/filepath"
+
+	"fixture/flowatomic"
+)
+
+// FireCreate creates a durable file directly.
+func FireCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// FireWriteFile writes a durable file directly.
+func FireWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// FireOpenWrite opens for writing via O_* flags.
+func FireOpenWrite(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// CleanReadOnly opens read-only: not a write, no finding.
+func CleanReadOnly(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// CleanTemp writes scratch space under the temp dir: exempt.
+func CleanTemp(data []byte) error {
+	return os.WriteFile(filepath.Join(os.TempDir(), "scratch.bin"), data, 0o600)
+}
+
+// CleanRouted goes through the allowed writer package.
+func CleanRouted(path string, data []byte) error {
+	return flowatomic.WriteFile(path, data)
+}
+
+// Suppressed pins that a justified raw write can be suppressed.
+func Suppressed(path string) error {
+	//lint:ignore writeroute fixture: deliberate raw write, pinned by the golden file
+	return os.WriteFile(path, nil, 0o644)
+}

@@ -21,12 +21,18 @@
 #                 test hammers /metrics, /healthz and /tracez from a
 #                 scraper goroutine while a full 19test9m run routes
 #   lint        — fastgrlint, the static invariant net (determinism +
-#                 passive observability + recover-hygiene contracts), gofmt
-#                 verification on
+#                 passive observability + recover-hygiene contracts, plus
+#                 the interprocedural flow checks: walltaint, writeroute,
+#                 shardisolation, promdrift), gofmt verification on
+#   lint-self   — fastgrlint -self: the analyzer's own packages must be
+#                 clean under the default policy and the fixture module
+#                 must reproduce its golden file
 #   bench-obs   — observability overhead guard: benchgen -obs fails if the
 #                 disabled-mode cost on the pattern-stage batch workload
 #                 exceeds 2%
-#   bench-lint  — records analyzer cost (files/sec) into BENCH_lint.json
+#   bench-lint  — records analyzer cost (files/sec, per-check wall time)
+#                 into BENCH_lint.json and fails if the full suite costs
+#                 more than 2x the pre-flow-layer baseline
 #   bench-maze  — maze kernel guard: benchgen -maze fails unless A* on a
 #                 warm cost cache beats the seed Dijkstra-cold config by
 #                 1.5x with fewer expansions
@@ -69,6 +75,7 @@ step build      go build ./...
 step test       go test ./...
 step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/obs/prom ./internal/obs/opsrv ./internal/sched ./internal/maze ./internal/grid ./internal/fault ./internal/shard
 step lint       go run ./cmd/fastgrlint -fmt ./...
+step lint-self  go run ./cmd/fastgrlint -self
 step bench-obs  go run ./cmd/benchgen -obs -o BENCH_obs.json
 step bench-lint go run ./cmd/benchgen -lint -o BENCH_lint.json
 step bench-maze go run ./cmd/benchgen -maze -o BENCH_maze.json
