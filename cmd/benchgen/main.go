@@ -14,6 +14,7 @@
 //	benchgen -maze -o BENCH_maze.json
 //	benchgen -fault -o BENCH_fault.json
 //	benchgen -shard -o BENCH_shard.json
+//	benchgen -serve -o BENCH_serve.json
 //	benchgen -regress [-baseline-ref HEAD]
 package main
 
@@ -41,6 +42,7 @@ func main() {
 		mazeFlag = flag.Bool("maze", false, "measure the maze kernel (dijkstra/astar x cold/warm cost cache) and emit JSON (fails if astar+warm misses the speedup gate)")
 		faultBmk = flag.Bool("fault", false, "measure the fault containment layer's disabled-injection overhead and emit JSON (fails past the budget)")
 		shardBmk = flag.Bool("shard", false, "sweep sharded vs monolithic routing and emit JSON (fails if K=4 misses the peak-heap reduction or quality-parity gates)")
+		serveBmk = flag.Bool("serve", false, "measure the fastgrd daemon path vs direct core.Route and job latency under concurrent submitters, and emit JSON (fails past the overhead budget)")
 		regress  = flag.Bool("regress", false, "re-validate every BENCH_*.json against its recorded gates and diff against the committed baseline (fails on a gate breach; warns on drift)")
 		baseline = flag.String("baseline-ref", "HEAD", "git ref holding the baseline BENCH_*.json files for -regress")
 	)
@@ -73,6 +75,10 @@ func main() {
 		}
 	case *shardBmk:
 		if err := runShard(*out); err != nil {
+			fatal(err)
+		}
+	case *serveBmk:
+		if err := runServe(*out); err != nil {
 			fatal(err)
 		}
 	case *list:

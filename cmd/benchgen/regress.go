@@ -51,6 +51,9 @@ var benchGates = map[string][]gate{
 		{metric: "heap_ratio_k4", limit: "max_heap_ratio_k4", dir: atMost},
 		{metric: "score_drift_pct", limit: "max_score_drift_pct", dir: atMost},
 	},
+	"BENCH_serve.json": {
+		{metric: "overhead_pct", limit: "max_overhead_pct", dir: atMost},
+	},
 	"BENCH_hostpar.json": nil,
 	"BENCH_lint.json": {
 		{metric: "wall_ratio", limit: "max_wall_ratio", dir: atMost},

@@ -1,0 +1,71 @@
+// Command fastgrd is the routing-as-a-service daemon: it serves the
+// internal/serve job API (submit, status, guides, cancel) alongside the
+// opsrv observability endpoints on one address, journals every job
+// state transition crash-safely under -dir, and drains gracefully on
+// SIGINT/SIGTERM — admission stops, in-flight jobs finish or checkpoint
+// within -drain-budget, and the process exits 0.
+//
+// Usage:
+//
+//	fastgrd -listen localhost:8080 -dir /var/lib/fastgrd
+//	curl -X POST localhost:8080/v1/jobs -d '{"design":"18test5m","scale":0.01}'
+//	curl localhost:8080/v1/jobs/job-000001
+//	curl localhost:8080/v1/jobs/job-000001/guides
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fastgr/internal/obs"
+	"fastgr/internal/serve"
+)
+
+func main() {
+	var (
+		listenAddr  = flag.String("listen", "localhost:8080", "address to serve the job API and ops endpoints on")
+		dir         = flag.String("dir", "fastgrd-state", "state directory: job journal and guide artifacts")
+		runners     = flag.Int("runners", 2, "concurrent routing jobs")
+		queueCap    = flag.Int("queue-cap", 16, "max queued+running jobs before admission rejects with 429")
+		maxBytes    = flag.Int64("queue-bytes", 4<<30, "max summed per-job memory estimates before 429")
+		drainBudget = flag.Duration("drain-budget", 30*time.Second, "SIGTERM: time in-flight jobs get to finish before being checkpointed back to the queue")
+		stallAfter  = flag.Duration("stall-after", 0, "/healthz turns 503 when a running stage reports no progress for this long (0 = never)")
+	)
+	flag.Parse()
+
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Health: obs.NewHealth()}
+	srv, err := serve.New(serve.Config{
+		Dir:        *dir,
+		Runners:    *runners,
+		QueueCap:   *queueCap,
+		MaxBytes:   *maxBytes,
+		Obs:        o,
+		StallAfter: *stallAfter,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(*listenAddr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fastgrd serving on http://%s (job API under /v1/jobs; ops: /metrics /healthz /tracez)\n", srv.Addr())
+	fmt.Printf("state dir %s, %d runners, queue cap %d\n", *dir, *runners, *queueCap)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("fastgrd: %v — draining (budget %v)\n", got, *drainBudget)
+	if err := srv.Drain(*drainBudget); err != nil {
+		fatal(err)
+	}
+	fmt.Println("fastgrd: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fastgrd:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -127,6 +128,12 @@ type Options struct {
 	// crash-safe: the journal republishes atomically at every event, so
 	// a run killed mid-flight leaves a complete, parseable trajectory.
 	Journal *obs.Journal
+	// Containment, when non-nil, is a pre-armed fault containment layer
+	// the run uses instead of building one from Fault. Callers that need
+	// the layer's per-site accounting after the run (fault.Snapshot —
+	// the daemon reports it per job) construct it themselves and pass it
+	// here; Fault is ignored when Containment is set.
+	Containment *fault.Containment
 	// Fault, when non-nil, arms the fault containment layer (internal/fault)
 	// around every parallel work unit: panics and injected faults are
 	// retried, exhausted units degrade (a failed reroute keeps its pattern
@@ -305,17 +312,27 @@ type Result struct {
 
 // Route runs the full two-stage flow on a design.
 func Route(d *design.Design, opt Options) (*Result, error) {
+	return RouteContext(context.Background(), d, opt)
+}
+
+// RouteContext is Route under a context. The context is polled at
+// coordinator checkpoints only (see cancel.go), so attaching one never
+// changes a completed run's output; when it fires, RouteContext returns
+// a *CancelError together with a non-nil Result holding the partial
+// report and the routes committed so far.
+func RouteContext(ctx context.Context, d *design.Design, opt Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	if opt.RRRIters < 0 || opt.Workers < 0 || opt.Shards < 0 {
 		return nil, fmt.Errorf("core: negative option")
 	}
-	r := &runner{d: d, opt: opt}
+	r := &runner{ctx: ctx, d: d, opt: opt}
 	return r.run()
 }
 
 type runner struct {
+	ctx context.Context
 	d   *design.Design
 	opt Options
 
@@ -341,32 +358,29 @@ func (r *runner) run() (*Result, error) {
 	r.g.SetObserver(r.opt.Obs)
 	r.pool = par.NewPool(r.opt.ExecWorkers)
 	r.pool.SetObserver(r.opt.Obs)
-	if r.opt.Fault != nil {
+	if r.opt.Containment != nil {
+		r.fc = r.opt.Containment
+		r.pool.SetFault(r.fc)
+	} else if r.opt.Fault != nil {
 		r.fc = fault.New(*r.opt.Fault, r.opt.Obs)
 		r.pool.SetFault(r.fc)
 	}
 	r.rep.Design = r.d.Name
 	r.rep.Variant = r.opt.Variant.String()
 
-	if err := r.plan(); err != nil {
-		return nil, err
-	}
-	r.sampleHeap()
-	if r.opt.Shards >= 1 {
-		r.shardSetup()
-		if err := r.shardPatternStage(); err != nil {
+	err := r.stages()
+	if err != nil {
+		var ce *CancelError
+		if !errors.As(err, &ce) {
 			return nil, err
 		}
-		r.sampleHeap()
-		if err := r.shardRRRStage(); err != nil {
-			return nil, err
-		}
-	} else {
-		r.patternStage()
-		r.sampleHeap()
-		if err := r.rrrStage(); err != nil {
-			return nil, err
-		}
+		// Cancelled at a coordinator checkpoint: fall through so the
+		// partial report — every committed stage and iteration — rides
+		// back alongside the error. The interrupted stage never reaches
+		// its StageDone, so clear the health tracker here — a daemon
+		// sharing one tracker across runs must not see a dead stage
+		// "running" forever.
+		r.opt.Obs.H().AbortAll()
 	}
 	r.sampleHeap()
 	r.finish()
@@ -377,7 +391,32 @@ func (r *runner) run() (*Result, error) {
 		Design: r.d,
 		Trees:  r.trees,
 		Routes: r.routes,
-	}, nil
+	}, err
+}
+
+// stages runs the pipeline stage sequence, stopping at the first error
+// (a stage failure or a *CancelError from a coordinator checkpoint).
+func (r *runner) stages() error {
+	if err := r.checkpoint("plan", -1); err != nil {
+		return err
+	}
+	if err := r.plan(); err != nil {
+		return err
+	}
+	r.sampleHeap()
+	if r.opt.Shards >= 1 {
+		r.shardSetup()
+		if err := r.shardPatternStage(); err != nil {
+			return err
+		}
+		r.sampleHeap()
+		return r.shardRRRStage()
+	}
+	if err := r.patternStage(); err != nil {
+		return err
+	}
+	r.sampleHeap()
+	return r.rrrStage()
 }
 
 // sampleHeap folds the current heap high-water into the report. Called at
@@ -433,8 +472,10 @@ func (r *runner) plan() error {
 }
 
 // patternStage routes every net with the variant's pattern kernel, batch by
-// batch, committing demand after each batch.
-func (r *runner) patternStage() {
+// batch, committing demand after each batch. Batch boundaries are
+// coordinator checkpoints: a cancelled run stops between batches with
+// every committed batch intact.
+func (r *runner) patternStage() error {
 	start := obs.StartStopwatch()
 	tr := r.opt.Obs.T()
 	sp := tr.StartSpan("pattern", obs.Coordinator)
@@ -461,6 +502,9 @@ func (r *runner) patternStage() {
 		// direct formula until the next warm.
 		var ops int64
 		for bi, batch := range batches {
+			if err := r.checkpoint("pattern", -1); err != nil {
+				return err
+			}
 			r.g.WarmCostCache()
 			bsp := batchSpan(tr, bi)
 			for _, task := range batch {
@@ -492,6 +536,9 @@ func (r *runner) patternStage() {
 		router.Fault = r.fc
 		router.CPU = r.opt.CPU
 		for bi, batch := range batches {
+			if err := r.checkpoint("pattern", -1); err != nil {
+				return err
+			}
 			bsp := batchSpan(tr, bi)
 			trees := make([]*stt.Tree, len(batch))
 			nets := make([]*design.Net, len(batch))
@@ -520,6 +567,7 @@ func (r *runner) patternStage() {
 	r.rep.PatternScore = r.rep.PatternQuality.Score()
 	r.rep.Times.PatternWall = start.Elapsed()
 	r.stageDone("pattern", r.rep.Times.PatternWall, r.rep.PatternScore)
+	return nil
 }
 
 // patternConfig resolves the variant's pattern kernel configuration —
@@ -582,6 +630,9 @@ func (r *runner) rrrStage() error {
 	}
 
 	for iter := 0; iter < r.opt.RRRIters; iter++ {
+		if err := r.checkpoint("rrr", iter); err != nil {
+			return err
+		}
 		var iterSp obs.Span
 		if tr.On() {
 			iterSp = tr.StartSpan(fmt.Sprintf("rrr.iter[%d]", iter), obs.Coordinator)
@@ -655,7 +706,7 @@ func (r *runner) rrrStage() error {
 					budgetTrips[ti] = true
 					expansions[ti] = st.Expansions
 					durations[ti] = time.Duration(float64(st.Expansions) * r.opt.MazeNsPerExpansion)
-					r.fc.Degrade(1)
+					r.fc.Degrade(fault.SiteBudget, 1)
 					return nil
 				}
 				return err
@@ -800,6 +851,10 @@ func (r *runner) violatingNets() ([]*design.Net, error) {
 func (r *runner) snapshotQuality() metrics.Quality {
 	var q metrics.Quality
 	for _, n := range r.d.Nets {
+		if n.ID >= len(r.routes) {
+			// A run cancelled before planning finished has no route slots.
+			continue
+		}
 		if rt := r.routes[n.ID]; rt != nil {
 			q.Wirelength += rt.Wirelength(r.g)
 			q.Vias += rt.ViaCount(r.g)

@@ -121,6 +121,9 @@ func (r *runner) shardGrouping() (groups [][]int, outer, inner int) {
 // fragments across the cuts, then a reconciliation pass rerouting the
 // stitched nets that overflow.
 func (r *runner) shardPatternStage() error {
+	if err := r.checkpoint("pattern", -1); err != nil {
+		return err
+	}
 	start := obs.StartStopwatch()
 	tr := r.opt.Obs.T()
 	sp := tr.StartSpan("pattern", obs.Coordinator)
@@ -271,6 +274,11 @@ func (r *runner) shardPatternStage() error {
 		m.Counter(obs.MPatternLShape).Add(int64(r.rep.TotalEdges - r.rep.HybridEdges))
 	}
 
+	// The stitch is the stage's last coordinator pass; checking here means
+	// a cancelled run stops before rewriting any boundary net.
+	if err := r.checkpoint("stitch", -1); err != nil {
+		return err
+	}
 	if err := r.stitchAndReconcile(fragRoutes); err != nil {
 		return err
 	}
@@ -341,7 +349,7 @@ func (r *runner) stitchAndReconcile(fragRoutes [][]*route.NetRoute) error {
 			if errors.As(err, &be) {
 				recExp += st.Expansions
 				r.rep.Fault.BudgetFallbacks++
-				r.fc.Degrade(1)
+				r.fc.Degrade(fault.SiteBudget, 1)
 				continue
 			}
 			return fmt.Errorf("core: shard reconciliation: %w", err)
@@ -392,6 +400,9 @@ func (r *runner) shardRRRStage() error {
 		searches[i].SetBudget(r.opt.MazeBudget)
 	}
 	for iter := 0; iter < r.opt.RRRIters; iter++ {
+		if err := r.checkpoint("rrr", iter); err != nil {
+			return err
+		}
 		// The coordinator scratch grows to the largest boundary window —
 		// potentially the whole grid — so unlike the leaf-bounded worker
 		// scratches it is per-iteration: holding it across iterations
@@ -470,7 +481,7 @@ func (r *runner) shardRRRStage() error {
 					budgetTrips[ti] = true
 					expansions[ti] = st.Expansions
 					durations[ti] = time.Duration(float64(st.Expansions) * r.opt.MazeNsPerExpansion)
-					r.fc.Degrade(1)
+					r.fc.Degrade(fault.SiteBudget, 1)
 					return nil
 				}
 				return err

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"fastgr/internal/obs"
 )
@@ -181,6 +182,25 @@ func mix(x uint64) uint64 {
 	return x
 }
 
+// SiteStats is one containment site's accounting: how many faults were
+// injected there, how many contained failures a retry recovered, how
+// many degraded into a final fallback, and how many retries ran. For a
+// fixed (seed, probs, workload) the numbers are deterministic at every
+// worker count, like the run-level FaultStats they decompose.
+type SiteStats struct {
+	Injected  int64 `json:"injected"`
+	Recovered int64 `json:"recovered"`
+	Degraded  int64 `json:"degraded"`
+	Retries   int64 `json:"retries"`
+}
+
+// siteCounters is the live per-site accounting behind Snapshot. One
+// fixed struct per known site, built at New — wrappers only ever load a
+// pointer from a read-only map, so the hot path stays lock-free.
+type siteCounters struct {
+	injected, recovered, degraded, retries atomic.Int64
+}
+
 // Containment is the armed layer: injector, retry bound and resolved
 // observability handles. The nil Containment is the disabled layer —
 // every method is nil-safe and Run degenerates to calling the body.
@@ -188,6 +208,11 @@ type Containment struct {
 	inj  *Injector
 	max  int
 	seed int64
+
+	// sites holds the per-site accounting; the map is built once at New
+	// over the Sites list and never mutated afterwards, so concurrent
+	// wrappers read it without locking.
+	sites map[string]*siteCounters
 
 	tr        *obs.Tracer
 	injected  *obs.Counter
@@ -204,10 +229,14 @@ func New(opt Options, o *obs.Observer) *Containment {
 		max = DefaultMaxAttempts
 	}
 	c := &Containment{
-		inj:  NewInjector(opt.Seed, opt.Probs),
-		max:  max,
-		seed: opt.Seed,
-		tr:   o.T(),
+		inj:   NewInjector(opt.Seed, opt.Probs),
+		max:   max,
+		seed:  opt.Seed,
+		sites: make(map[string]*siteCounters, len(Sites)),
+		tr:    o.T(),
+	}
+	for _, s := range Sites {
+		c.sites[s] = &siteCounters{}
 	}
 	if m := o.M(); m != nil {
 		c.injected = m.Counter(obs.MFaultInjected)
@@ -221,6 +250,66 @@ func New(opt Options, o *obs.Observer) *Containment {
 // Enabled reports whether containment is armed; nil is the disabled
 // layer.
 func (c *Containment) Enabled() bool { return c != nil }
+
+// site returns the per-site counters, nil (a no-op via the atomic
+// methods' receivers never being called) for sites outside the Sites
+// list — callers always pass a Sites constant today.
+func (c *Containment) site(name string) *siteCounters {
+	if c == nil {
+		return nil
+	}
+	return c.sites[name]
+}
+
+func (sc *siteCounters) addInjected(n int64) {
+	if sc != nil {
+		sc.injected.Add(n)
+	}
+}
+
+func (sc *siteCounters) addRecovered(n int64) {
+	if sc != nil {
+		sc.recovered.Add(n)
+	}
+}
+
+func (sc *siteCounters) addDegraded(n int64) {
+	if sc != nil {
+		sc.degraded.Add(n)
+	}
+}
+
+func (sc *siteCounters) addRetries(n int64) {
+	if sc != nil {
+		sc.retries.Add(n)
+	}
+}
+
+// Snapshot copies the per-site containment accounting: a map from site
+// name to its counters, omitting sites that saw no events. Callers use
+// it to attribute a run's FaultStats to the execution sites that
+// produced them (the daemon reports it per job); nil containment yields
+// a nil map. The counts are deterministic for a fixed (seed, probs,
+// workload) — reading them mid-run only risks missing in-flight events,
+// never corruption.
+func (c *Containment) Snapshot() map[string]SiteStats {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]SiteStats)
+	for name, sc := range c.sites {
+		st := SiteStats{
+			Injected:  sc.injected.Load(),
+			Recovered: sc.recovered.Load(),
+			Degraded:  sc.degraded.Load(),
+			Retries:   sc.retries.Load(),
+		}
+		if st != (SiteStats{}) {
+			out[name] = st
+		}
+	}
+	return out
+}
 
 // MaxAttempts reports the per-unit attempt bound (1 when disabled).
 func (c *Containment) MaxAttempts() int {
@@ -248,10 +337,14 @@ func (c *Containment) Run(site string, unit, worker int, fn func() error) error 
 		}
 		if attempt+1 >= c.max {
 			c.degraded.Add(1)
+			c.site(site).addDegraded(1)
 			return &WorkError{Site: site, Unit: unit, Attempts: attempt + 1, Contained: true, Cause: err}
 		}
 		c.recovered.Add(1)
 		c.retries.Add(1)
+		sc := c.site(site)
+		sc.addRecovered(1)
+		sc.addRetries(1)
 		c.backoff(site, unit, attempt)
 	}
 }
@@ -268,6 +361,7 @@ func (c *Containment) RunOnce(site string, unit, worker int, fn func() error) er
 		return err
 	}
 	c.degraded.Add(1)
+	c.site(site).addDegraded(1)
 	return &WorkError{Site: site, Unit: unit, Attempts: 1, Contained: true, Cause: err}
 }
 
@@ -281,19 +375,23 @@ func (c *Containment) InjectBudget(unit, worker int) bool {
 	}
 	c.injected.Add(1)
 	c.degraded.Add(1)
+	sc := c.site(SiteBudget)
+	sc.addInjected(1)
+	sc.addDegraded(1)
 	c.trace(SiteBudget, worker)
 	return true
 }
 
-// Degrade records n organic (non-injected) degradations — real budget
-// trips. These sit outside the injection accounting equation, which is
-// why the chaos suite injects budget faults instead of configuring a
-// tight real budget.
-func (c *Containment) Degrade(n int64) {
+// Degrade records n organic (non-injected) degradations at a site —
+// real budget trips. These sit outside the injection accounting
+// equation, which is why the chaos suite injects budget faults instead
+// of configuring a tight real budget.
+func (c *Containment) Degrade(site string, n int64) {
 	if c == nil {
 		return
 	}
 	c.degraded.Add(n)
+	c.site(site).addDegraded(n)
 }
 
 // attempt runs fn once behind the recover barrier, firing any injected
@@ -303,6 +401,7 @@ func (c *Containment) Degrade(n int64) {
 func (c *Containment) attempt(site string, unit, attempt, worker int, fn func() error) (err error, contained bool) {
 	if c.inj.Fire(site, unit, attempt) {
 		c.injected.Add(1)
+		c.site(site).addInjected(1)
 		c.trace(site, worker)
 		return ErrInjected, true
 	}

@@ -230,7 +230,7 @@ func TestNilContainmentIsDisabledLayer(t *testing.T) {
 	if c.InjectBudget(0, 0) {
 		t.Fatal("nil InjectBudget fired")
 	}
-	c.Degrade(1) // must not panic
+	c.Degrade(SiteBudget, 1) // must not panic
 }
 
 func TestZeroProbabilityNeverFires(t *testing.T) {
@@ -292,5 +292,54 @@ func TestUniformProbsCoversEverySite(t *testing.T) {
 		if m[s] != 0.5 {
 			t.Fatalf("site %s missing from UniformProbs", s)
 		}
+	}
+}
+
+func TestSnapshotAttributesCountersPerSite(t *testing.T) {
+	var nilc *Containment
+	if got := nilc.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v, want nil", got)
+	}
+	c, reg := newCounted()
+	if got := c.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh Snapshot should omit all-zero sites, got %v", got)
+	}
+
+	// Probability-1 injection at the task site, retried to exhaustion:
+	// DefaultMaxAttempts injections, all but the last recovered.
+	_ = c.Run(SiteTask, 9, 0, func() error { return nil })
+	// An explicit budget degradation lands under its own site.
+	c.Degrade(SiteBudget, 2)
+
+	snap := c.Snapshot()
+	task, ok := snap[SiteTask]
+	if !ok {
+		t.Fatalf("task site missing from snapshot: %v", snap)
+	}
+	if task.Injected != 3 || task.Recovered != 2 || task.Degraded != 1 || task.Retries != 2 {
+		t.Fatalf("task stats %+v, want 3/2/1/2", task)
+	}
+	if task.Injected != task.Recovered+task.Degraded {
+		t.Fatalf("site accounting equation violated: %+v", task)
+	}
+	if b := snap[SiteBudget]; b.Degraded != 2 {
+		t.Fatalf("budget site %+v, want degraded=2", b)
+	}
+	if _, leaked := snap[SiteKernel]; leaked {
+		t.Fatalf("untouched kernel site leaked into snapshot: %v", snap)
+	}
+
+	// Per-site stats decompose the aggregate run-level counters exactly.
+	inj, rec, deg, ret := counters(reg)
+	var si, sr, sd, st int64
+	for _, s := range snap {
+		si += s.Injected
+		sr += s.Recovered
+		sd += s.Degraded
+		st += s.Retries
+	}
+	if si != inj || sr != rec || sd != deg || st != ret {
+		t.Fatalf("snapshot sums %d/%d/%d/%d != registry counters %d/%d/%d/%d",
+			si, sr, sd, st, inj, rec, deg, ret)
 	}
 }

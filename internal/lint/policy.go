@@ -56,6 +56,15 @@ type Policy struct {
 //     per-lane tracer invariant or the determinism contract, and an
 //     accept loop cannot run on the par pool without deadlocking a
 //     worker for the lifetime of the server.
+//   - internal/serve is sanctioned on both counts: the fastgrd daemon's
+//     runner loops, accept loop and drain joiner are long-lived service
+//     goroutines joined by Drain/Close — like opsrv's accept loop they
+//     would deadlock a par worker for the server's lifetime — and its
+//     wall readings (job service times, Retry-After estimates, drain
+//     budgets) are advisory operational signals, declassified by
+//     construction: they shape queueing politeness, never a routed
+//     result, which still flows through core under full walltaint
+//     scrutiny.
 //   - internal/obs carries the nil-safety contract.
 //   - internal/fault is the only package allowed to call recover():
 //     containment re-counts every recovery into the fault accounting
@@ -78,6 +87,7 @@ func DefaultPolicy() Policy {
 		DetwallExempt: []string{
 			"fastgr/internal/obs",
 			"fastgr/internal/par",
+			"fastgr/internal/serve",
 			"fastgr/cmd/...",
 			"fastgr/examples/...",
 		},
@@ -87,6 +97,7 @@ func DefaultPolicy() Policy {
 			"fastgr/internal/taskflow",
 			"fastgr/internal/obs",
 			"fastgr/internal/obs/opsrv",
+			"fastgr/internal/serve",
 		},
 		NilsafePackages: []string{
 			"fastgr/internal/obs",

@@ -102,6 +102,23 @@ func (h *Health) StageDone(name string) {
 	h.touch(name).running = false
 }
 
+// AbortAll marks every known stage as no longer running. A run that
+// stops between stages — a cancellation or deadline checkpoint — never
+// reaches its stages' StageDone calls; without this, a long-lived
+// process sharing one tracker across runs (the fastgrd daemon) would
+// report the aborted stage running forever and trip stall detection on
+// a healthy server.
+func (h *Health) AbortAll() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.stages {
+		s.running = false
+	}
+}
+
 // Stages returns every known stage in first-seen order with its
 // progress age as of now. A nil tracker returns nil.
 func (h *Health) Stages() []StageHealth {

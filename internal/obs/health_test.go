@@ -72,3 +72,32 @@ func TestHealthBeatWithoutStart(t *testing.T) {
 		t.Fatalf("got %+v", st)
 	}
 }
+
+// TestHealthAbortAll pins the daemon-restart hygiene: an aborted run
+// clears every running flag (no phantom "running forever" stage to trip
+// stall detection), without inventing stages or losing counts.
+func TestHealthAbortAll(t *testing.T) {
+	var nilh *Health
+	nilh.AbortAll() // must not panic
+
+	h := NewHealth()
+	h.StageStart("plan")
+	h.StageDone("plan")
+	h.StageStart("pattern")
+	h.AbortAll()
+	st := h.Stages()
+	if len(st) != 2 {
+		t.Fatalf("AbortAll changed the stage set: %+v", st)
+	}
+	for _, s := range st {
+		if s.Running {
+			t.Fatalf("stage %s still running after AbortAll", s.Name)
+		}
+	}
+	if st[1].Starts != 1 {
+		t.Fatalf("AbortAll clobbered counters: %+v", st[1])
+	}
+	if h.Stalled(time.Nanosecond) != nil {
+		t.Fatalf("aborted stages still count as stalled")
+	}
+}

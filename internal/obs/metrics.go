@@ -174,6 +174,25 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Count returns the number of observations so far (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values (0 on a nil histogram).
+// Count and Sum are read independently, so a ratio taken while
+// observations are in flight may be off by the in-flight values — fine
+// for advisory consumers like the daemon's Retry-After estimate.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
 // HistSnapshot is a consistent-enough copy of a histogram for export:
 // individual fields are atomically read, so a snapshot taken while
 // observations are in flight may be off by the in-flight observations

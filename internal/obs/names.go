@@ -102,6 +102,28 @@ var promTable = map[string]PromMapping{
 	MFaultRetries: {Family: "fastgr_fault_events",
 		Help:   "Fault containment events, split by kind.",
 		Labels: []PromLabel{{"kind", "retries"}}},
+	MServeQueueDepth: {Family: "fastgr_serve_queue_depth",
+		Help: "Jobs waiting in the daemon admission queue."},
+	MServeAdmitted: {Family: "fastgr_serve_jobs",
+		Help:   "Daemon job lifecycle events, split by outcome.",
+		Labels: []PromLabel{{"outcome", "admitted"}}},
+	MServeRejected: {Family: "fastgr_serve_jobs",
+		Help:   "Daemon job lifecycle events, split by outcome.",
+		Labels: []PromLabel{{"outcome", "rejected"}}},
+	MServeRecovered: {Family: "fastgr_serve_jobs",
+		Help:   "Daemon job lifecycle events, split by outcome.",
+		Labels: []PromLabel{{"outcome", "recovered"}}},
+	MServeDone: {Family: "fastgr_serve_jobs",
+		Help:   "Daemon job lifecycle events, split by outcome.",
+		Labels: []PromLabel{{"outcome", "done"}}},
+	MServeFailed: {Family: "fastgr_serve_jobs",
+		Help:   "Daemon job lifecycle events, split by outcome.",
+		Labels: []PromLabel{{"outcome", "failed"}}},
+	MServeCancelled: {Family: "fastgr_serve_jobs",
+		Help:   "Daemon job lifecycle events, split by outcome.",
+		Labels: []PromLabel{{"outcome", "cancelled"}}},
+	MServeJobNs: {Family: "fastgr_serve_job_service_ns",
+		Help: "Per-job service time from admission to terminal state in nanoseconds."},
 }
 
 // PromMappingFor returns the exposition mapping for a dotted metric

@@ -23,6 +23,8 @@ var sharedMetricNames = []string{
 	MCostHits, MCostMisses, MCostInvalidations, MCostWarms,
 	MMazeExpansionsAStar, MMazeExpansionsDijkstra,
 	MFaultInjected, MFaultRecovered, MFaultDegraded, MFaultRetries,
+	MServeQueueDepth, MServeAdmitted, MServeRejected, MServeRecovered,
+	MServeDone, MServeFailed, MServeCancelled, MServeJobNs,
 }
 
 var promFamilyRe = regexp.MustCompile(`^fastgr_[a-z0-9_]+$`)

@@ -123,6 +123,27 @@ const (
 	// MFaultRetries counts work-unit re-executions after a contained
 	// failure.
 	MFaultRetries = "fault.retries"
+	// MServeQueueDepth gauges jobs waiting in the daemon's admission
+	// queue (queued, not yet picked up by a runner).
+	MServeQueueDepth = "serve.queue.depth"
+	// MServeAdmitted counts jobs accepted into the queue.
+	MServeAdmitted = "serve.jobs.admitted"
+	// MServeRejected counts submissions refused by admission control
+	// (queue or memory budget full → 429).
+	MServeRejected = "serve.jobs.rejected"
+	// MServeRecovered counts jobs requeued by journal replay after a
+	// restart.
+	MServeRecovered = "serve.jobs.recovered"
+	// MServeDone counts jobs that finished routing successfully.
+	MServeDone = "serve.jobs.done"
+	// MServeFailed counts jobs that ended in a routing error or blew
+	// their deadline.
+	MServeFailed = "serve.jobs.failed"
+	// MServeCancelled counts jobs cancelled by DELETE.
+	MServeCancelled = "serve.jobs.cancelled"
+	// MServeJobNs is the per-job service-time histogram (ns, admission
+	// to terminal state); its mean feeds the 429 Retry-After estimate.
+	MServeJobNs = "serve.job_service_ns"
 )
 
 // Pow2Buckets returns n histogram upper bounds lo, 2lo, 4lo, ...: the

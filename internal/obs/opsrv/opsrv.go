@@ -49,13 +49,11 @@ type Server struct {
 	srv *http.Server
 }
 
-// Start listens on addr (host:port, empty host for all interfaces, port
-// 0 for an ephemeral port) and serves the ops endpoints until Close.
-func Start(addr string, cfg Config) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// Mux builds the ops endpoint mux — /metrics, /healthz, /tracez and the
+// pprof profiles — without binding a listener. Embedders with their own
+// HTTP server (the fastgrd daemon) mount their routes on this mux so
+// one port serves both surfaces.
+func Mux(cfg Config) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", prom.ContentType)
@@ -76,10 +74,33 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	s := &Server{ln: ln, srv: srv}
-	go srv.Serve(ln) // accept loop; sanctioned by the lint goroutine policy
+// NewHTTPServer wraps a handler in an http.Server with the package's
+// slow-client protections: a header-read deadline so an idle half-open
+// connection cannot pin the accept loop, a full-request read deadline,
+// and an idle keep-alive timeout. WriteTimeout stays zero on purpose —
+// /debug/pprof/profile and /debug/pprof/trace stream for a
+// client-chosen duration.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// Start listens on addr (host:port, empty host for all interfaces, port
+// 0 for an ephemeral port) and serves the ops endpoints until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: NewHTTPServer(Mux(cfg))}
+	go s.srv.Serve(ln) // accept loop; sanctioned by the lint goroutine policy
 	return s, nil
 }
 

@@ -1,0 +1,62 @@
+package serve
+
+import "sync"
+
+// queue is the bounded admission queue: a FIFO of at most cap jobs
+// whose summed per-job memory estimates stay under a byte budget.
+// Admission is a single non-blocking reservation under a mutex — the
+// accept loop never waits on a runner — and rejection is the caller's
+// signal to answer 429. The byte reservation outlives the queue slot
+// on purpose: it is released when the job reaches a terminal state (or
+// is dropped), not when a runner pops it, so the budget models jobs in
+// the building, not jobs waiting at the door.
+type queue struct {
+	mu       sync.Mutex
+	reserved int   // queued + not-yet-released slots, admission view
+	bytes    int64 // reserved estimate sum
+	maxJobs  int
+	maxBytes int64
+	ch       chan *Job
+}
+
+func newQueue(maxJobs int, maxBytes int64) *queue {
+	return &queue{
+		maxJobs:  maxJobs,
+		maxBytes: maxBytes,
+		ch:       make(chan *Job, maxJobs),
+	}
+}
+
+// admit reserves a slot and the job's byte estimate, or reports the
+// queue full. It never blocks.
+func (q *queue) admit(est int64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.reserved >= q.maxJobs || q.bytes+est > q.maxBytes {
+		return false
+	}
+	q.reserved++
+	q.bytes += est
+	return true
+}
+
+// push hands an admitted job to the runners. The channel send cannot
+// block: admit bounds outstanding slots by the channel capacity, and
+// slots are only released after the pop.
+func (q *queue) push(j *Job) {
+	q.ch <- j
+}
+
+// release returns an admitted job's reservation, after the job reaches
+// a terminal state or its admission is abandoned.
+func (q *queue) release(est int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.reserved--
+	q.bytes -= est
+}
+
+// depth is the number of jobs sitting in the channel right now.
+func (q *queue) depth() int {
+	return len(q.ch)
+}

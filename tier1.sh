@@ -17,9 +17,12 @@
 #                 shard, whose plans and splits are read from every leaf
 #                 slot (core's TestShardDeterminism drives the sharded
 #                 pipeline itself at 1/2/8 workers under -race), the
-#                 prom exposition renderer, and opsrv, whose live-scrape
+#                 prom exposition renderer, opsrv, whose live-scrape
 #                 test hammers /metrics, /healthz and /tracez from a
-#                 scraper goroutine while a full 19test9m run routes
+#                 scraper goroutine while a full 19test9m run routes,
+#                 and serve, the fastgrd job pipeline whose overload
+#                 test saturates admission, cancels mid-run jobs and
+#                 drains while HTTP clients hammer the handlers
 #   lint        — fastgrlint, the static invariant net (determinism +
 #                 passive observability + recover-hygiene contracts, plus
 #                 the interprocedural flow checks: walltaint, writeroute,
@@ -43,6 +46,11 @@
 #                 vs monolithic on the largest harness design and fails
 #                 if the K=4 peak-heap delta exceeds half the monolithic
 #                 one or quality drifts more than 10%
+#   bench-serve — daemon overhead guard: benchgen -serve fails if routing
+#                 a job through the fastgrd pipeline (journal, queue,
+#                 guide artifact) costs more than 5% over direct
+#                 core.Route; also records p50/p99 job latency at
+#                 1/4/16 concurrent submitters
 #   bench-regress — regression watchdog: benchgen -regress re-validates
 #                 every BENCH_*.json just regenerated above against its
 #                 own recorded gates and diffs the gated metrics against
@@ -73,7 +81,7 @@ $name: FAIL"
 step vet        go vet -tests=true ./...
 step build      go build ./...
 step test       go test ./...
-step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/obs/prom ./internal/obs/opsrv ./internal/sched ./internal/maze ./internal/grid ./internal/fault ./internal/shard
+step race       go test -race ./internal/par ./internal/core ./internal/taskflow ./internal/obs ./internal/obs/prom ./internal/obs/opsrv ./internal/sched ./internal/maze ./internal/grid ./internal/fault ./internal/shard ./internal/serve
 step lint       go run ./cmd/fastgrlint -fmt ./...
 step lint-self  go run ./cmd/fastgrlint -self
 step bench-obs  go run ./cmd/benchgen -obs -o BENCH_obs.json
@@ -81,6 +89,7 @@ step bench-lint go run ./cmd/benchgen -lint -o BENCH_lint.json
 step bench-maze go run ./cmd/benchgen -maze -o BENCH_maze.json
 step bench-fault go run ./cmd/benchgen -fault -o BENCH_fault.json
 step bench-shard go run ./cmd/benchgen -shard -o BENCH_shard.json
+step bench-serve go run ./cmd/benchgen -serve -o BENCH_serve.json
 step bench-regress go run ./cmd/benchgen -regress
 
 echo "== tier1 summary ==$summary"
